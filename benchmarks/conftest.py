@@ -1,0 +1,41 @@
+"""Shared benchmark utilities.
+
+Each experiment benchmark both *times* its core operation (pytest-benchmark)
+and *emits* the table the paper-reproduction reports, to stdout and to
+``benchmarks/output/<experiment>.txt`` so a benchmark run leaves artifacts
+for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def emit_table(experiment: str, title: str, rows: list[dict]) -> None:
+    """Print a table and persist it under benchmarks/output/."""
+    lines = [f"== {experiment}: {title} =="]
+    if rows:
+        headers = list(rows[0].keys())
+        widths = {
+            h: max(len(str(h)), *(len(str(r.get(h, ""))) for r in rows))
+            for h in headers
+        }
+        lines.append(" | ".join(str(h).ljust(widths[h]) for h in headers))
+        lines.append("-+-".join("-" * widths[h] for h in headers))
+        for row in rows:
+            lines.append(
+                " | ".join(str(row.get(h, "")).ljust(widths[h]) for h in headers)
+            )
+    text = "\n".join(lines)
+    print("\n" + text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{experiment}.txt").write_text(text + "\n")
+
+
+@pytest.fixture
+def table_writer():
+    return emit_table

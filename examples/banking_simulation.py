@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Money conservation under different concurrency-control schedulers.
+
+A bank runs concurrent transfers.  Serializable executions preserve the
+total balance; anomalies destroy it.  The multiversion schedulers commit
+more interleavings than locking while never breaking the invariant.
+
+Run:  python examples/banking_simulation.py
+"""
+
+from repro.classes.vsr import is_vsr
+from repro.model.enumeration import random_interleaving
+from repro.schedulers.mv2pl import TwoVersionTwoPL
+from repro.schedulers.mvcg import EagerMVCGScheduler, MVCGScheduler
+from repro.schedulers.mvto import MVTOScheduler
+from repro.schedulers.sgt import SGTScheduler
+from repro.schedulers.twopl import TwoPhaseLocking
+from repro.storage.executor import execute
+from repro.storage.txn_manager import TransactionManager
+from repro.workloads.bank import BankWorkload, bank_programs, total_balance
+
+import random
+
+
+def lengths(schedule):
+    return {t: len(schedule.projection(t)) for t in schedule.txn_ids}
+
+
+def main() -> None:
+    # 1. What goes wrong WITHOUT concurrency control: two transfers over
+    #    the same two accounts, raw interleavings, no scheduler.
+    contended = BankWorkload(n_accounts=2, n_transfers=2, seed=3)
+    c_system, c_amounts = contended.system()
+    c_programs = bank_programs(c_amounts)
+    c_total = total_balance(contended.initial_state())
+    rng = random.Random(0)
+    broken = 0
+    trials = 200
+    for _ in range(trials):
+        s = random_interleaving(c_system, rng)
+        result = execute(s, None, c_programs, contended.initial_state())
+        if not contended.invariant_holds(result.final_state):
+            broken += 1
+            if broken == 1:
+                lost = c_total - total_balance(
+                    {**contended.initial_state(), **result.final_state}
+                )
+                print("Without a scheduler, this interleaving corrupts the "
+                      f"bank (net balance error = {lost}):")
+                print(f"  {s}")
+                print(f"  serializable? {is_vsr(s)}\n")
+    print(f"Unprotected executions: {broken}/{trials} broke conservation.\n")
+
+    # 2. A realistic mix — transfers plus read-only audits — pushed
+    #    through scheduler + multiversion store.
+    workload = BankWorkload(n_accounts=8, n_transfers=2, n_audits=2, seed=5)
+    system, amounts = workload.system()
+    programs = bank_programs(amounts)
+    print(f"{workload.n_transfers} transfers + {workload.n_audits} "
+          f"read-only audits over {workload.n_accounts} accounts:\n")
+
+    # 2. With schedulers: rejected schedules never execute; accepted ones
+    #    always preserve the invariant; acceptance rates differ.
+    schedulers = [
+        ("strict 2PL", lambda s: TwoPhaseLocking(lengths(s))),
+        ("2V2PL", lambda s: TwoVersionTwoPL(lengths(s))),
+        ("SGT (CSR)", lambda s: SGTScheduler()),
+        ("MVTO", lambda s: MVTOScheduler()),
+        ("eager MVCG", lambda s: EagerMVCGScheduler()),
+        ("MVCG ceiling", lambda s: MVCGScheduler()),
+    ]
+    schedules = [workload.schedule(system) for _ in range(60)]
+    print(f"{'scheduler':>12} | committed | invariant violations")
+    print("-" * 48)
+    for name, factory in schedulers:
+        committed = violations = 0
+        for s in schedules:
+            tm = TransactionManager(
+                factory(s), programs, workload.initial_state()
+            )
+            outcome = tm.run(s)
+            if outcome.accepted:
+                committed += 1
+                if not workload.invariant_holds(outcome.final_state):
+                    violations += 1
+        print(f"{name:>12} | {committed:4d}/60   | {violations}")
+    print("\nEvery committed execution conserved money.  Two versions "
+          "already beat strict locking (2V2PL > 2PL); the clairvoyant "
+          "MVCG row is the MVCSR ceiling that Theorem 4 proves no "
+          "on-line scheduler can fully attain.")
+
+
+if __name__ == "__main__":
+    main()

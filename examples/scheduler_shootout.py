@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Scheduler shootout: acceptance rates, ceilings, and the OLS wall.
+
+Run:  python examples/scheduler_shootout.py
+"""
+
+from repro.analysis.acceptance import acceptance_rates, class_rates
+from repro.analysis.figure1 import SECTION4_PAIR
+from repro.schedulers.maximal import MaximalOracleScheduler
+from repro.schedulers.mv2pl import TwoVersionTwoPL
+from repro.schedulers.mvcg import EagerMVCGScheduler, MVCGScheduler
+from repro.schedulers.mvto import MVTOScheduler
+from repro.schedulers.polygraph_sched import PolygraphScheduler
+from repro.schedulers.sgt import SGTScheduler
+from repro.schedulers.twopl import TwoPhaseLocking
+from repro.workloads.streams import schedule_stream
+
+
+def lengths(schedule):
+    return {t: len(schedule.projection(t)) for t in schedule.txn_ids}
+
+
+def main() -> None:
+    for skew, label in ((0.0, "uniform access"), (2.0, "hot-key contention")):
+        schedules = list(
+            schedule_stream(80, 3, ["x", "y", "z"], 2, seed=1, zipf_skew=skew)
+        )
+        ceilings = class_rates(schedules)
+        reports = acceptance_rates(
+            schedules,
+            [
+                lambda s: TwoPhaseLocking(lengths(s)),
+                lambda s: SGTScheduler(),
+                lambda s: TwoVersionTwoPL(lengths(s)),
+                lambda s: MVTOScheduler(),
+                lambda s: EagerMVCGScheduler(),
+                lambda s: PolygraphScheduler(),
+                lambda s: MVCGScheduler(),
+                lambda s: MaximalOracleScheduler(s.transaction_system()),
+            ],
+        )
+        print(f"\n=== {label} (zipf skew {skew}) ===")
+        print(f"class ceilings: CSR {ceilings['csr']:.2f}  "
+              f"MVCSR {ceilings['mvcsr']:.2f}  MVSR {ceilings['mvsr']:.2f}")
+        for report in reports:
+            bar = "#" * round(40 * report.rate)
+            print(f"  {report.name:>12}: {report.rate:5.2f}  {bar}")
+
+    # The OLS wall, on the paper's own pair.
+    s, s_prime = SECTION4_PAIR
+    print("\n=== the on-line wall (§4) ===")
+    print("Both schedules below are MVCSR; no on-line scheduler accepts "
+          "both, because a version must be chosen for R_B(x) before the "
+          "schedules diverge:")
+    print(f"  s  = {s}")
+    print(f"  s' = {s_prime}")
+    for name, factory in (
+        ("MVTO", MVTOScheduler),
+        ("eager MVCG", EagerMVCGScheduler),
+        ("polygraph", PolygraphScheduler),
+        ("clairvoyant MVCG", MVCGScheduler),
+    ):
+        a, b = factory().accepts(s), factory().accepts(s_prime)
+        wall = "" if a and b else "   <- the OLS wall"
+        cheat = "   (possible only by deferring version choice!)" if a and b else ""
+        print(f"  {name:>16}: s {a!s:>5}, s' {b!s:>5}{wall}{cheat}")
+
+
+if __name__ == "__main__":
+    main()

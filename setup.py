@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+This offline environment lacks the ``wheel`` package, so PEP 517 editable
+installs fail; keeping a ``setup.py`` (and no ``[build-system]`` table in
+pyproject.toml) lets ``pip install -e .`` use the legacy develop path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,77 @@
+"""repro — reproduction of Hadzilacos & Papadimitriou (PODS 1985 / JCSS 1986).
+
+*Algorithmic Aspects of Multiversion Concurrency Control.*
+
+The package implements the paper's schedule model, every serializability
+class it discusses (CSR, VSR, FSR, MVSR, MVCSR, DMVSR), the polygraph
+machinery and NP-hardness reductions behind Theorems 4-6, the OLS (on-line
+schedulable) decision procedure, a family of online schedulers (2PL, SGT,
+MVTO, MV2PL, MVCG-based, maximal-oracle), and a small multiversion storage
+engine used to validate the theory against executable semantics.
+
+Quickstart::
+
+    from repro import parse_schedule, is_csr, is_vsr, is_mvsr, is_mvcsr
+
+    s = parse_schedule("R1(x) W1(x) R2(x) R2(y) W2(y) R1(y) W1(y)")
+    assert is_mvcsr(s) and not is_vsr(s)
+"""
+
+from repro.model.steps import Step, read, write
+from repro.model.transactions import Transaction, TransactionSystem
+from repro.model.schedules import Schedule, T_INIT, T_FINAL
+from repro.model.parsing import parse_schedule, parse_transaction, format_schedule
+from repro.model.version_functions import (
+    VersionFunction,
+    standard_version_function,
+)
+from repro.model.readfrom import read_from_relation, view_of
+from repro.classes.serial import is_serial
+from repro.classes.csr import is_csr, conflict_graph
+from repro.classes.vsr import is_vsr
+from repro.classes.fsr import is_fsr
+from repro.classes.mvsr import is_mvsr, find_mvsr_serialization
+from repro.classes.mvcsr import is_mvcsr, mv_conflict_graph
+from repro.classes.dmvsr import is_dmvsr
+from repro.classes.hierarchy import classify, membership_profile
+from repro.graphs.polygraph import Polygraph
+from repro.ols.decision import is_ols, ols_certificate
+from repro.sat.cnf import CNF
+from repro.sat.solver import solve as sat_solve
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Step",
+    "read",
+    "write",
+    "Transaction",
+    "TransactionSystem",
+    "Schedule",
+    "T_INIT",
+    "T_FINAL",
+    "parse_schedule",
+    "parse_transaction",
+    "format_schedule",
+    "VersionFunction",
+    "standard_version_function",
+    "read_from_relation",
+    "view_of",
+    "is_serial",
+    "is_csr",
+    "conflict_graph",
+    "is_vsr",
+    "is_fsr",
+    "is_mvsr",
+    "find_mvsr_serialization",
+    "is_mvcsr",
+    "mv_conflict_graph",
+    "is_dmvsr",
+    "is_ols",
+    "ols_certificate",
+    "classify",
+    "membership_profile",
+    "Polygraph",
+    "CNF",
+    "sat_solve",
+]

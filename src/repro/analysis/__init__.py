@@ -1,0 +1,25 @@
+"""Experiment harnesses: Figure 1, class census, acceptance, scaling."""
+
+from repro.analysis.figure1 import FIGURE1_EXAMPLES, figure1_table, Figure1Example
+from repro.analysis.topography import census, region_counts_table
+from repro.analysis.acceptance import acceptance_rates, AcceptanceReport
+from repro.analysis.complexity import scaling_measurements
+from repro.analysis.ols_cover import (
+    cover_report,
+    greedy_scheduler_cover,
+    ols_conflict_graph,
+)
+
+__all__ = [
+    "FIGURE1_EXAMPLES",
+    "figure1_table",
+    "Figure1Example",
+    "census",
+    "region_counts_table",
+    "acceptance_rates",
+    "AcceptanceReport",
+    "scaling_measurements",
+    "cover_report",
+    "greedy_scheduler_cover",
+    "ols_conflict_graph",
+]

@@ -1,0 +1,91 @@
+"""Scheduler acceptance-rate comparison (E10).
+
+The set of schedules a scheduler outputs is the paper's measure of its
+performance (§1).  This harness feeds a common stream of random schedules
+to every scheduler and reports acceptance rates, realizing the paper's
+motivating claim as a measurement: multiversion schedulers accept strictly
+more than single-version ones, and the clairvoyant MVCSR recognizer
+accepts strictly more than any on-line multiversion scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.classes.csr import is_csr
+from repro.classes.mvcsr import is_mvcsr
+from repro.classes.mvsr import is_mvsr
+from repro.model.schedules import Schedule
+from repro.schedulers.base import Scheduler
+
+
+@dataclass
+class AcceptanceReport:
+    """Acceptance statistics of one scheduler over a stream."""
+
+    name: str
+    accepted: int
+    total: int
+    #: mean fraction of steps accepted before the first rejection.
+    mean_accepted_prefix: float
+
+    @property
+    def rate(self) -> float:
+        return self.accepted / self.total if self.total else 0.0
+
+    def row(self) -> dict:
+        return {
+            "scheduler": self.name,
+            "accepted": self.accepted,
+            "total": self.total,
+            "rate": round(self.rate, 4),
+            "mean_prefix": round(self.mean_accepted_prefix, 4),
+        }
+
+
+def acceptance_rates(
+    schedules: Sequence[Schedule],
+    factories: Sequence[Callable[[Schedule], Scheduler]],
+) -> list[AcceptanceReport]:
+    """Run every scheduler over every schedule.
+
+    ``factories`` build a scheduler *per schedule* (several schedulers
+    need the transaction system or step counts of the schedule they will
+    judge — 2PL's lock release, the maximal oracle's completions).
+    """
+    reports = []
+    for factory in factories:
+        accepted = 0
+        prefix_total = 0.0
+        name = None
+        for schedule in schedules:
+            scheduler = factory(schedule)
+            name = scheduler.name
+            n = scheduler.accepted_prefix_length(schedule)
+            if n == len(schedule):
+                accepted += 1
+            prefix_total += n / max(1, len(schedule))
+        reports.append(
+            AcceptanceReport(
+                name or "scheduler",
+                accepted,
+                len(schedules),
+                prefix_total / max(1, len(schedules)),
+            )
+        )
+    return reports
+
+
+def class_rates(schedules: Sequence[Schedule]) -> dict[str, float]:
+    """Fractions of the stream inside CSR / MVCSR / MVSR.
+
+    These are the information-theoretic ceilings for the corresponding
+    scheduler families; E10 plots scheduler rates against them.
+    """
+    n = max(1, len(schedules))
+    return {
+        "csr": sum(is_csr(s) for s in schedules) / n,
+        "mvcsr": sum(is_mvcsr(s) for s in schedules) / n,
+        "mvsr": sum(is_mvsr(s) for s in schedules) / n,
+    }

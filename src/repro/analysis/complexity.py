@@ -1,0 +1,70 @@
+"""Runtime scaling of the deciders (E11).
+
+The paper's complexity claims as measurements: the polynomial deciders
+(CSR, MVCSR/Theorem 1) scale gracefully with schedule size while the exact
+NP-complete ones (VSR, MVSR, OLS, polygraph acyclicity) grow super-
+polynomially.  Absolute numbers are machine-specific; the *shape* — which
+curves bend and which stay flat — is the reproduced result.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Sequence
+
+from repro.classes.csr import is_csr
+from repro.classes.mvcsr import is_mvcsr
+from repro.classes.mvsr import is_mvsr
+from repro.classes.vsr import is_vsr
+from repro.model.enumeration import random_schedule
+from repro.model.schedules import Schedule
+
+
+def _time_once(fn: Callable[[], object]) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def scaling_measurements(
+    txn_counts: Sequence[int],
+    steps_per_txn: int = 3,
+    n_entities: int = 3,
+    samples_per_size: int = 5,
+    seed: int = 0,
+) -> list[dict]:
+    """Mean decider runtimes per transaction count.
+
+    One row per size with columns for each decider; the NP-complete
+    deciders are skipped above ``_EXACT_LIMIT`` transactions to keep the
+    harness bounded.
+    """
+    rng = random.Random(seed)
+    entities = [f"e{k}" for k in range(n_entities)]
+    rows = []
+    exact_limit = 8
+    for n_txns in txn_counts:
+        timings = {"csr": 0.0, "mvcsr": 0.0, "vsr": 0.0, "mvsr": 0.0}
+        counted = {"vsr": 0, "mvsr": 0}
+        for _ in range(samples_per_size):
+            schedule = random_schedule(
+                n_txns, entities, steps_per_txn, rng
+            )
+            timings["csr"] += _time_once(lambda: is_csr(schedule))
+            timings["mvcsr"] += _time_once(lambda: is_mvcsr(schedule))
+            if n_txns <= exact_limit:
+                timings["vsr"] += _time_once(lambda: is_vsr(schedule))
+                timings["mvsr"] += _time_once(lambda: is_mvsr(schedule))
+                counted["vsr"] += 1
+                counted["mvsr"] += 1
+        row = {
+            "n_txns": n_txns,
+            "csr_ms": 1e3 * timings["csr"] / samples_per_size,
+            "mvcsr_ms": 1e3 * timings["mvcsr"] / samples_per_size,
+        }
+        if counted["vsr"]:
+            row["vsr_ms"] = 1e3 * timings["vsr"] / counted["vsr"]
+            row["mvsr_ms"] = 1e3 * timings["mvsr"] / counted["mvsr"]
+        rows.append(row)
+    return rows

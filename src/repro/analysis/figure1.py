@@ -1,0 +1,131 @@
+"""Figure 1: the topography of schedule classes, with witnesses.
+
+The paper's Figure 1 gives one example schedule per region.  The scanned
+source is partially garbled (two transaction shapes are OCR-corrupted),
+so this module carries
+
+* the reconstructed examples — interleavings over the figure's transaction
+  shapes, two of them with a documented one-character correction, chosen
+  so that each lands exactly in its claimed region (verified by the
+  deciders in the tests and in benchmark E1), and
+
+* a shape-driven *witness search*: given the transaction shapes, find all
+  interleavings in a target region.  This reproduces the figure's content
+  (the regions are non-empty and separated) independently of any OCR
+  uncertainty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.classes.hierarchy import classify
+from repro.model.enumeration import interleavings
+from repro.model.parsing import parse_schedule
+from repro.model.schedules import Schedule
+from repro.model.transactions import TransactionSystem
+
+
+@dataclass(frozen=True)
+class Figure1Example:
+    """One region of Figure 1 with its witness schedule."""
+
+    name: str
+    description: str
+    schedule: Schedule
+    region: str
+    #: deviation from the OCR'd figure text, if any.
+    note: str = ""
+
+
+FIGURE1_EXAMPLES: tuple[Figure1Example, ...] = (
+    Figure1Example(
+        name="s1",
+        description="a non-MVSR schedule",
+        schedule=parse_schedule("RA(x) RB(x) WA(x) WB(x)"),
+        region="not-mvsr",
+    ),
+    Figure1Example(
+        name="s2",
+        description="an MVSR schedule that is not SR or MVCSR",
+        schedule=parse_schedule("WA(x) RB(x) RC(y) WC(x) WB(y)"),
+        region="mvsr-only",
+    ),
+    Figure1Example(
+        name="s3",
+        description="an SR schedule that is not MVCSR",
+        schedule=parse_schedule("WA(x) RB(x) RC(y) WC(x) WD(x) WB(y)"),
+        region="vsr-not-mvcsr",
+        note=(
+            "the scan reads D: W(y); with D writing y no interleaving of "
+            "the four shapes is VSR-but-not-MVCSR under the paper's padded "
+            "semantics (exhaustively checked), so D: W(x) is the intended "
+            "shape"
+        ),
+    ),
+    Figure1Example(
+        name="s4",
+        description="an MVCSR schedule that is not SR",
+        schedule=parse_schedule("RA(x) WA(x) RB(x) RB(y) WB(y) RA(y) WA(y)"),
+        region="mvcsr-not-vsr",
+    ),
+    Figure1Example(
+        name="s5",
+        description="an MVCSR schedule that is SR but not CSR",
+        schedule=parse_schedule("RA(x) WA(x) RB(x) WB(y) WA(y) WC(y)"),
+        region="vsr-and-mvcsr",
+        note=(
+            "the scan reads C: W(x); with C writing x no interleaving of "
+            "the three shapes is VSR-and-not-CSR under padded semantics "
+            "(exhaustively checked), so C: W(y) is the intended shape"
+        ),
+    ),
+    Figure1Example(
+        name="s6",
+        description="any serial schedule",
+        schedule=parse_schedule("RA(x) WA(x) RB(x) WB(y)"),
+        region="serial",
+    ),
+)
+
+#: §4's non-OLS pair of DMVSR (hence MVCSR) schedules.
+SECTION4_PAIR: tuple[Schedule, Schedule] = (
+    parse_schedule("RA(x) WA(x) RB(x) RA(y) WA(y) RB(y) WB(y)"),
+    parse_schedule("RA(x) WA(x) RB(x) RB(y) WB(y) RA(y) WA(y)"),
+)
+
+
+def figure1_table() -> list[dict]:
+    """The Figure 1 verification table: claimed versus measured region."""
+    rows = []
+    for example in FIGURE1_EXAMPLES:
+        measured = classify(example.schedule)
+        rows.append(
+            {
+                "example": example.name,
+                "schedule": str(example.schedule),
+                "claimed": example.region,
+                "measured": measured,
+                "match": measured == example.region,
+                "note": example.note,
+            }
+        )
+    return rows
+
+
+def region_witnesses(
+    system: TransactionSystem, region: str, limit: int | None = None
+) -> list[Schedule]:
+    """All interleavings of ``system`` classified into ``region``.
+
+    Exhaustive over the shuffle space — keep the system small.  This is
+    the OCR-independent reproduction of Figure 1: for each region, some
+    transaction system of the figure has a witness interleaving.
+    """
+    out = []
+    for schedule in interleavings(system):
+        if classify(schedule) == region:
+            out.append(schedule)
+            if limit is not None and len(out) >= limit:
+                break
+    return out

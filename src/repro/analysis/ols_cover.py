@@ -1,0 +1,83 @@
+"""How many schedulers does a workload need?  (§5, quantified.)
+
+Section 5 shows there are infinitely many maximal OLS classes and none is
+efficiently recognizable.  A concrete consequence: a *single*
+deterministic multiversion scheduler cannot accept every MVSR schedule a
+workload produces — the §4 pair already needs two.  This module measures
+that fragmentation:
+
+* :func:`ols_conflict_graph` — vertices are MVSR schedules, edges join
+  pairs that are **not** jointly OLS (no one scheduler can accept both);
+* :func:`greedy_scheduler_cover` — a greedy partition of the schedules
+  into jointly-OLS groups: a lower-bound-ish estimate of how many
+  deterministic schedulers a fleet would need to accept all of them.
+
+The pairwise-OLS relation is not transitive, so groups are verified as a
+whole (every new member is checked against the whole group), making the
+cover sound: each group really is jointly schedulable.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.digraph import Digraph
+from repro.model.schedules import Schedule
+from repro.ols.decision import is_ols, witness_exists
+
+
+def ols_conflict_graph(
+    schedules: list[Schedule],
+) -> tuple[list[int], list[tuple[int, int]]]:
+    """MVSR members and the pairs among them that are not jointly OLS.
+
+    Returns (indices of MVSR schedules, conflict edges between them).
+    Non-MVSR schedules are excluded: they belong to no OLS class at all.
+    """
+    mvsr_members = [
+        idx for idx, s in enumerate(schedules) if witness_exists(s, {})
+    ]
+    edges = []
+    for a in range(len(mvsr_members)):
+        for b in range(a + 1, len(mvsr_members)):
+            i, j = mvsr_members[a], mvsr_members[b]
+            if not is_ols([schedules[i], schedules[j]]):
+                edges.append((i, j))
+    return mvsr_members, edges
+
+
+def greedy_scheduler_cover(
+    schedules: list[Schedule],
+) -> list[list[int]]:
+    """Partition the MVSR members into jointly-OLS groups, greedily.
+
+    Each returned group is verified jointly OLS (one scheduler could
+    accept all of it); the number of groups estimates the scheduler-fleet
+    size the workload demands.  Greedy first-fit on the conflict graph's
+    complement — not optimal (minimum cover is NP-hard, fittingly), but
+    sound.
+    """
+    members, _edges = ols_conflict_graph(schedules)
+    groups: list[list[int]] = []
+    for idx in members:
+        placed = False
+        for group in groups:
+            candidate = [schedules[i] for i in group] + [schedules[idx]]
+            if is_ols(candidate):
+                group.append(idx)
+                placed = True
+                break
+        if not placed:
+            groups.append([idx])
+    return groups
+
+
+def cover_report(schedules: list[Schedule]) -> dict:
+    """Summary statistics for a stream of schedules."""
+    members, edges = ols_conflict_graph(schedules)
+    groups = greedy_scheduler_cover(schedules)
+    return {
+        "schedules": len(schedules),
+        "mvsr_members": len(members),
+        "conflicting_pairs": len(edges),
+        "schedulers_needed": len(groups),
+        "largest_group": max((len(g) for g in groups), default=0),
+    }

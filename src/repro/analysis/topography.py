@@ -1,0 +1,88 @@
+"""Empirical topography: population counts of the Figure 1 regions (E9).
+
+Samples random schedules and classifies each into its region, producing
+an empirical version of Figure 1: every region populated, with the
+multiversion classes strictly dominating the single-version ones.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Sequence
+
+from repro.classes.hierarchy import REGIONS, classify
+from repro.model.enumeration import random_schedule
+from repro.model.steps import Entity
+
+
+def census(
+    n_samples: int,
+    n_txns: int,
+    entities: Sequence[Entity],
+    steps_per_txn: int,
+    seed: int = 0,
+    read_fraction: float = 0.5,
+    zipf_skew: float = 0.0,
+) -> Counter:
+    """Counter of region -> number of sampled schedules in it."""
+    rng = random.Random(seed)
+    counts: Counter = Counter({region: 0 for region in REGIONS})
+    for _ in range(n_samples):
+        schedule = random_schedule(
+            n_txns, entities, steps_per_txn, rng, read_fraction, zipf_skew
+        )
+        counts[classify(schedule)] += 1
+    return counts
+
+
+def cumulative_class_sizes(counts: Counter) -> dict[str, int]:
+    """Counts per *class* (cumulative over the nested regions).
+
+    ``serial <= csr <= vsr, mvcsr <= mvsr <= all`` should hold on any
+    sample; benchmark E9 asserts it.
+    """
+    serial = counts["serial"]
+    csr = serial + counts["csr"]
+    vsr = csr + counts["vsr-not-mvcsr"] + counts["vsr-and-mvcsr"]
+    mvcsr = csr + counts["mvcsr-not-vsr"] + counts["vsr-and-mvcsr"]
+    mvsr = (
+        csr
+        + counts["vsr-not-mvcsr"]
+        + counts["vsr-and-mvcsr"]
+        + counts["mvcsr-not-vsr"]
+        + counts["mvsr-only"]
+    )
+    total = sum(counts.values())
+    return {
+        "serial": serial,
+        "csr": csr,
+        "vsr": vsr,
+        "mvcsr": mvcsr,
+        "mvsr": mvsr,
+        "all": total,
+    }
+
+
+def region_counts_table(
+    sweeps: Sequence[tuple[int, int]],
+    n_samples: int = 200,
+    seed: int = 0,
+) -> list[dict]:
+    """Censuses over (n_txns, steps_per_txn) sweeps; one row per config."""
+    rows = []
+    for n_txns, steps in sweeps:
+        counts = census(
+            n_samples,
+            n_txns,
+            ["x", "y", "z"],
+            steps,
+            seed=seed,
+        )
+        row = {"n_txns": n_txns, "steps_per_txn": steps}
+        row.update({region: counts[region] for region in REGIONS})
+        row.update(
+            {f"|{k}|": v for k, v in cumulative_class_sizes(counts).items()}
+        )
+        rows.append(row)
+    return rows

@@ -1,0 +1,86 @@
+"""Deciders for every schedule class the paper discusses.
+
+============  ==========================  ==========================
+Class         Decision complexity         Implementation
+============  ==========================  ==========================
+serial        O(n)                        :mod:`repro.classes.serial`
+CSR           polynomial                  :mod:`repro.classes.csr`
+VSR           NP-complete                 :mod:`repro.classes.vsr`
+FSR           NP-complete                 :mod:`repro.classes.fsr`
+MVSR          NP-complete                 :mod:`repro.classes.mvsr`
+MVCSR         polynomial (Theorem 1)      :mod:`repro.classes.mvcsr`
+DMVSR         NP-complete                 :mod:`repro.classes.dmvsr`
+============  ==========================  ==========================
+
+All deciders use the paper's *padded* semantics: reads with no earlier
+write read from the initial transaction ``T0``, and single-version
+equivalences (VSR) also require the final writer of every entity to match
+(the final transaction ``Tf`` reads everything).  In the multiversion
+classes ``Tf``'s reads can be served any version, so they impose no
+constraint — exactly the paper's model.
+"""
+
+from repro.classes.serial import is_serial, serializations
+from repro.classes.csr import is_csr, conflict_graph, csr_serialization
+from repro.classes.vsr import is_vsr, find_vsr_serialization, is_vsr_polygraph
+from repro.classes.fsr import is_fsr
+from repro.classes.mvsr import (
+    is_mvsr,
+    is_mvsr_fixed,
+    find_mvsr_serialization,
+    all_mvsr_serializations,
+)
+from repro.classes.sat_encodings import is_mvsr_sat, is_ols_pair_sat
+from repro.classes.mvcsr import (
+    is_mvcsr,
+    mv_conflict_graph,
+    mvcsr_serialization,
+    is_mvcsr_by_swaps,
+    mvcsr_version_function,
+)
+from repro.classes.dmvsr import is_dmvsr, dmvsr_augmented
+from repro.classes.hierarchy import (
+    classify,
+    membership_profile,
+    writes_entities_once,
+    REGIONS,
+)
+from repro.classes.recovery import (
+    is_recoverable,
+    avoids_cascading_aborts,
+    is_strict,
+    recovery_profile,
+)
+
+__all__ = [
+    "is_serial",
+    "serializations",
+    "is_csr",
+    "conflict_graph",
+    "csr_serialization",
+    "is_vsr",
+    "find_vsr_serialization",
+    "is_vsr_polygraph",
+    "is_fsr",
+    "is_mvsr",
+    "is_mvsr_fixed",
+    "is_mvsr_sat",
+    "is_ols_pair_sat",
+    "find_mvsr_serialization",
+    "all_mvsr_serializations",
+    "is_mvcsr",
+    "mv_conflict_graph",
+    "mvcsr_serialization",
+    "is_mvcsr_by_swaps",
+    "mvcsr_version_function",
+    "is_dmvsr",
+    "dmvsr_augmented",
+    "classify",
+    "membership_profile",
+    "writes_entities_once",
+    "REGIONS",
+    "is_recoverable",
+    "avoids_cascading_aborts",
+    "is_strict",
+    "recovery_profile",
+]

@@ -1,0 +1,31 @@
+"""Conflict serializability (CSR) — polynomial time.
+
+A schedule is CSR iff its conflict graph is acyclic; the topological order
+of the graph is then a conflict-equivalent serial order (paper §3).
+"""
+
+from __future__ import annotations
+
+from repro.graphs.conflict_graph import build_conflict_graph
+from repro.graphs.digraph import Digraph
+from repro.model.schedules import Schedule
+from repro.model.steps import TxnId
+
+
+def conflict_graph(schedule: Schedule) -> Digraph:
+    """The single-version conflict graph of ``schedule``."""
+    return build_conflict_graph(schedule)
+
+
+def is_csr(schedule: Schedule) -> bool:
+    """Conflict serializability: acyclic conflict graph."""
+    return build_conflict_graph(schedule).is_acyclic()
+
+
+def csr_serialization(schedule: Schedule) -> list[TxnId] | None:
+    """A conflict-equivalent serial order, or None if the schedule is
+    not CSR."""
+    graph = build_conflict_graph(schedule)
+    if graph.has_cycle():
+        return None
+    return graph.topological_sort()

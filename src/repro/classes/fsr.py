@@ -1,0 +1,79 @@
+"""Final-state serializability (FSR) — NP-complete.
+
+Not named in this paper's figure but part of the classical hierarchy the
+model section builds on ([Papadimitriou 79]): ``s`` is FSR iff some serial
+schedule of the same transactions produces the same final database state
+for *every* initial state and every interpretation of the transactions'
+functions.  We decide it with Herbrand (free, uninterpreted) semantics:
+the value a write produces is the uninterpreted function of the values the
+transaction has read so far, and two schedules are final-state equivalent
+iff the final Herbrand terms coincide entity by entity.  VSR implies FSR;
+the converse fails in the presence of dead writes.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.model.schedules import Schedule, T_FINAL, T_INIT
+from repro.model.steps import Entity, TxnId
+from repro.model.version_functions import VersionFunction
+
+#: A Herbrand term: ("init", x) or ("w", txn, write_counter, (read terms...)).
+Term = tuple
+
+
+def herbrand_final_state(
+    schedule: Schedule, version_function: VersionFunction | None = None
+) -> dict[Entity, Term]:
+    """Final Herbrand term of every entity under ``(s, V)``.
+
+    With the standard version function this is the single-version final
+    state.  The term of a write records which values the writing
+    transaction had read before performing it, so two schedules have equal
+    final states for all interpretations iff the terms are equal.
+    """
+    core = schedule.unpadded() if schedule.is_padded() else schedule
+    vf = version_function or VersionFunction.standard(core)
+    state: dict[Entity, Term] = {e: ("init", e) for e in core.entities}
+    write_term: dict[int, Term] = {}
+    reads_so_far: dict[TxnId, list[Term]] = {}
+    write_counter: dict[TxnId, int] = {}
+    for i, step in enumerate(core):
+        if step.is_read:
+            src = vf.assignments.get(i)
+            if src is None or src == T_INIT:
+                value: Term = ("init", step.entity)
+            else:
+                value = write_term[src]
+            reads_so_far.setdefault(step.txn, []).append(value)
+        else:
+            k = write_counter.get(step.txn, 0)
+            write_counter[step.txn] = k + 1
+            term: Term = (
+                "w",
+                step.txn,
+                k,
+                tuple(reads_so_far.get(step.txn, ())),
+            )
+            write_term[i] = term
+            state[step.entity] = term
+    return state
+
+
+def is_fsr(schedule: Schedule) -> bool:
+    """Final-state serializability by Herbrand-state comparison.
+
+    Enumerates serial orders (with the trivial early exit that equal
+    states require equal final writers) — exponential, as expected for an
+    NP-complete property; use on small schedules only.
+    """
+    core = schedule.unpadded() if schedule.is_padded() else schedule
+    target = herbrand_final_state(core)
+    txns = [t for t in core.txn_ids if t not in (T_INIT, T_FINAL)]
+    projections = {t: core.projection(t) for t in txns}
+    for perm in itertools.permutations(txns):
+        serial = Schedule.serial([projections[t] for t in perm])
+        if herbrand_final_state(serial) == target:
+            return True
+    return False

@@ -1,0 +1,147 @@
+"""The topography of schedule classes (paper Figure 1).
+
+Every schedule falls into exactly one region of the Venn diagram drawn by
+Figure 1::
+
+    all schedules  ⊇  MVSR  ⊇  (VSR ∪ MVCSR),   VSR ∩ MVCSR ⊇ CSR ⊇ serial
+
+:func:`membership_profile` evaluates every class decider on a schedule;
+:func:`classify` maps the profile to the paper's region names, with the
+six example regions of Figure 1 as distinguished values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.classes.csr import is_csr
+from repro.classes.dmvsr import is_dmvsr
+from repro.classes.fsr import is_fsr
+from repro.classes.mvcsr import is_mvcsr
+from repro.classes.mvsr import is_mvsr
+from repro.classes.serial import is_serial
+from repro.classes.vsr import is_vsr
+from repro.model.schedules import Schedule
+
+#: Region names, from innermost to outermost, as in Figure 1.
+REGIONS = (
+    "serial",
+    "csr",
+    "vsr-and-mvcsr",
+    "vsr-not-mvcsr",
+    "mvcsr-not-vsr",
+    "mvsr-only",
+    "not-mvsr",
+)
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Membership in every class the paper discusses."""
+
+    serial: bool
+    csr: bool
+    vsr: bool
+    fsr: bool
+    mvsr: bool
+    mvcsr: bool
+    dmvsr: bool
+
+    def as_dict(self) -> dict[str, bool]:
+        return {
+            "serial": self.serial,
+            "csr": self.csr,
+            "vsr": self.vsr,
+            "fsr": self.fsr,
+            "mvsr": self.mvsr,
+            "mvcsr": self.mvcsr,
+            "dmvsr": self.dmvsr,
+        }
+
+    def check_paper_inclusions(
+        self, single_writes: bool = True
+    ) -> list[str]:
+        """Violated inclusions among the classes (empty list = consistent).
+
+        The inclusions asserted by the paper and its references:
+        serial ⊆ CSR ⊆ VSR ⊆ MVSR, CSR ⊆ MVCSR ⊆ MVSR (Theorem 3),
+        DMVSR ⊆ MVCSR.
+
+        ``VSR ⊆ FSR`` is checked only when ``single_writes`` holds (no
+        transaction writes an entity twice).  The paper's READ-FROM
+        relation is transaction-granular, so when a transaction writes an
+        entity twice a schedule can be view-equivalent to a serial one
+        (same ``(T_j, x, T_i)`` triples) while a read consumes a
+        *different write* of the same source transaction — different
+        Herbrand final state.  Use :func:`writes_entities_once` to test
+        the precondition.
+        """
+        violations = []
+        implications = [
+            ("serial", self.serial, "csr", self.csr),
+            ("csr", self.csr, "vsr", self.vsr),
+            ("vsr", self.vsr, "mvsr", self.mvsr),
+            ("csr", self.csr, "mvcsr", self.mvcsr),
+            ("mvcsr", self.mvcsr, "mvsr", self.mvsr),
+            ("dmvsr", self.dmvsr, "mvsr", self.mvsr),
+        ]
+        if single_writes:
+            implications.append(("vsr", self.vsr, "fsr", self.fsr))
+            # DMVSR ⊆ MVCSR ([PK84]'s MWW ⊆ MRW) likewise lives in the
+            # standard model; a transaction writing an entity twice makes
+            # "insert a read before each readless write" ambiguous and
+            # the inclusion can fail at transaction granularity.
+            implications.append(("dmvsr", self.dmvsr, "mvcsr", self.mvcsr))
+        for small_name, small, big_name, big in implications:
+            if small and not big:
+                violations.append(f"{small_name} ⊄ {big_name}")
+        return violations
+
+
+def writes_entities_once(schedule: Schedule) -> bool:
+    """True iff no transaction writes the same entity twice.
+
+    The precondition under which the transaction-granular READ-FROM
+    relation is lossless, hence ``VSR ⊆ FSR``.
+    """
+    seen: set[tuple] = set()
+    for step in schedule:
+        if not step.is_write:
+            continue
+        key = (step.txn, step.entity)
+        if key in seen:
+            return False
+        seen.add(key)
+    return True
+
+
+def membership_profile(schedule: Schedule) -> Profile:
+    """Run every decider on ``schedule``."""
+    return Profile(
+        serial=is_serial(schedule),
+        csr=is_csr(schedule),
+        vsr=is_vsr(schedule),
+        fsr=is_fsr(schedule),
+        mvsr=is_mvsr(schedule),
+        mvcsr=is_mvcsr(schedule),
+        dmvsr=is_dmvsr(schedule),
+    )
+
+
+def classify(schedule: Schedule) -> str:
+    """The Figure 1 region of ``schedule`` (one of :data:`REGIONS`)."""
+    if is_serial(schedule):
+        return "serial"
+    if is_csr(schedule):
+        return "csr"
+    vsr = is_vsr(schedule)
+    mvcsr = is_mvcsr(schedule)
+    if vsr and mvcsr:
+        return "vsr-and-mvcsr"
+    if vsr:
+        return "vsr-not-mvcsr"
+    if mvcsr:
+        return "mvcsr-not-vsr"
+    if is_mvsr(schedule):
+        return "mvsr-only"
+    return "not-mvsr"

@@ -1,0 +1,57 @@
+"""Serial schedules.
+
+A schedule is *serial* when any two adjacent steps of a transaction are
+also adjacent in the schedule (paper §2) — equivalently, each
+transaction's steps form one contiguous block.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from repro.model.schedules import Schedule, T_FINAL, T_INIT
+from repro.model.steps import TxnId
+
+
+def is_serial(schedule: Schedule) -> bool:
+    """True iff each transaction's steps are contiguous.
+
+    Padding transactions are ignored, so a padded serial schedule is still
+    serial.
+    """
+    last_txn: TxnId | None = None
+    finished: set[TxnId] = set()
+    for step in schedule:
+        if step.txn in (T_INIT, T_FINAL):
+            continue
+        if step.txn != last_txn:
+            if step.txn in finished:
+                return False
+            if last_txn is not None:
+                finished.add(last_txn)
+            last_txn = step.txn
+    return True
+
+
+def serial_order(schedule: Schedule) -> list[TxnId] | None:
+    """The transaction order of a serial schedule, or None if not serial."""
+    if not is_serial(schedule):
+        return None
+    return [
+        t
+        for t in schedule.txn_ids
+        if t not in (T_INIT, T_FINAL)
+    ]
+
+
+def serializations(schedule: Schedule) -> Iterator[list[TxnId]]:
+    """All candidate serial orders of the schedule's transactions."""
+    txns = [t for t in schedule.txn_ids if t not in (T_INIT, T_FINAL)]
+    for perm in itertools.permutations(txns):
+        yield list(perm)
+
+
+def serial_schedule_for(schedule: Schedule, order: list[TxnId]) -> Schedule:
+    """The serial schedule running ``schedule``'s projections in ``order``."""
+    return Schedule.serial([schedule.projection(t) for t in order])

@@ -1,0 +1,217 @@
+"""Command-line interface.
+
+::
+
+    python -m repro classify "RA(x) WA(x) RB(x) RB(y) WB(y) RA(y) WA(y)"
+    python -m repro ols "R1(x) W1(x) R2(x)" "R1(x) R2(x) W1(x)"
+    python -m repro schedulers "W1(x) R2(x) W2(y) R1(y)"
+    python -m repro figure1
+    python -m repro census --samples 200 --txns 3 --steps 2
+    python -m repro sat "a|b & ~a|~b"
+
+Output goes to stdout; exit status is 0 on success, 1 on a negative
+decision (not in class / not OLS / unsatisfiable), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.figure1 import figure1_table
+from repro.analysis.topography import census, cumulative_class_sizes
+from repro.classes.hierarchy import REGIONS, classify, membership_profile
+from repro.model.parsing import format_schedule_by_transaction, parse_schedule
+from repro.ols.decision import is_ols
+from repro.sat.cnf import CNF, Lit
+from repro.sat.solver import solve
+
+
+def _parse_cnf(text: str) -> CNF:
+    """Parse ``a|b & ~a|~b`` style CNF text."""
+    cnf = CNF()
+    for clause_text in text.split("&"):
+        clause: list[Lit] = []
+        for lit_text in clause_text.split("|"):
+            lit_text = lit_text.strip()
+            if not lit_text:
+                continue
+            if lit_text.startswith("~") or lit_text.startswith("!"):
+                clause.append((lit_text[1:].strip(), False))
+            else:
+                clause.append((lit_text, True))
+        if clause:
+            cnf.clauses.append(tuple(clause))
+    return cnf
+
+
+def cmd_classify(args: argparse.Namespace) -> int:
+    schedule = parse_schedule(args.schedule)
+    print(format_schedule_by_transaction(schedule))
+    print()
+    profile = membership_profile(schedule)
+    for name, member in profile.as_dict().items():
+        print(f"  {name:>6}: {member}")
+    region = classify(schedule)
+    print(f"\nFigure 1 region: {region}")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    schedule = parse_schedule(args.schedule)
+    profile = membership_profile(schedule).as_dict()
+    if args.cls not in profile:
+        print(f"unknown class {args.cls!r}; one of {sorted(profile)}")
+        return 2
+    verdict = profile[args.cls]
+    print(f"{args.cls}: {verdict}")
+    return 0 if verdict else 1
+
+
+def cmd_ols(args: argparse.Namespace) -> int:
+    schedules = [parse_schedule(text) for text in args.schedules]
+    verdict = is_ols(schedules)
+    print(f"OLS({len(schedules)} schedules): {verdict}")
+    return 0 if verdict else 1
+
+
+def cmd_schedulers(args: argparse.Namespace) -> int:
+    from repro.schedulers.maximal import MaximalOracleScheduler
+    from repro.schedulers.mv2pl import TwoVersionTwoPL
+    from repro.schedulers.mvcg import EagerMVCGScheduler, MVCGScheduler
+    from repro.schedulers.mvto import MVTOScheduler
+    from repro.schedulers.polygraph_sched import PolygraphScheduler
+    from repro.schedulers.sgt import SGTScheduler
+    from repro.schedulers.snapshot import SnapshotIsolationScheduler
+    from repro.schedulers.twopl import TwoPhaseLocking
+
+    schedule = parse_schedule(args.schedule)
+    lengths = {
+        t: len(schedule.projection(t)) for t in schedule.txn_ids
+    }
+    schedulers = [
+        TwoPhaseLocking(lengths),
+        SGTScheduler(),
+        TwoVersionTwoPL(lengths),
+        MVTOScheduler(),
+        EagerMVCGScheduler(),
+        PolygraphScheduler(),
+        MVCGScheduler(),
+        MaximalOracleScheduler(schedule.transaction_system()),
+        SnapshotIsolationScheduler(lengths),
+    ]
+    for scheduler in schedulers:
+        accepted = scheduler.accepts(schedule)
+        n = scheduler.accepted_prefix_length(schedule)
+        print(
+            f"  {scheduler.name:>10}: "
+            f"{'accepts' if accepted else f'rejects at step {n}'}"
+        )
+    return 0
+
+
+def cmd_figure1(_args: argparse.Namespace) -> int:
+    for row in figure1_table():
+        status = "ok" if row["match"] else "MISMATCH"
+        print(f"[{row['example']}] {row['schedule']}")
+        print(f"    claimed {row['claimed']!r}, measured "
+              f"{row['measured']!r} ({status})")
+    return 0
+
+
+def cmd_census(args: argparse.Namespace) -> int:
+    counts = census(
+        args.samples,
+        args.txns,
+        [f"e{k}" for k in range(args.entities)],
+        args.steps,
+        seed=args.seed,
+    )
+    total = sum(counts.values())
+    for region in REGIONS:
+        n = counts[region]
+        bar = "#" * round(40 * n / max(1, total))
+        print(f"  {region:>15}: {n:5d}  {bar}")
+    sizes = cumulative_class_sizes(counts)
+    print(
+        f"\n  serial({sizes['serial']}) <= csr({sizes['csr']}) <= "
+        f"vsr({sizes['vsr']}) <= mvsr({sizes['mvsr']}) <= all({sizes['all']})"
+    )
+    print(f"  csr({sizes['csr']}) <= mvcsr({sizes['mvcsr']})")
+    return 0
+
+
+def cmd_sat(args: argparse.Namespace) -> int:
+    formula = _parse_cnf(args.formula)
+    model = solve(formula)
+    if model is None:
+        print("UNSAT")
+        return 1
+    print("SAT")
+    for var in sorted(formula.variables, key=repr):
+        print(f"  {var} = {model[var]}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Multiversion concurrency control toolbox "
+            "(Hadzilacos & Papadimitriou, PODS 1985)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("classify", help="full class membership profile")
+    p.add_argument("schedule")
+    p.set_defaults(func=cmd_classify)
+
+    p = sub.add_parser("check", help="membership in one class")
+    p.add_argument("cls", choices=[
+        "serial", "csr", "vsr", "fsr", "mvsr", "mvcsr", "dmvsr",
+    ])
+    p.add_argument("schedule")
+    p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("ols", help="on-line schedulability of a set")
+    p.add_argument("schedules", nargs="+")
+    p.set_defaults(func=cmd_ols)
+
+    p = sub.add_parser(
+        "schedulers", help="which schedulers accept a schedule"
+    )
+    p.add_argument("schedule")
+    p.set_defaults(func=cmd_schedulers)
+
+    p = sub.add_parser("figure1", help="verify the paper's Figure 1")
+    p.set_defaults(func=cmd_figure1)
+
+    p = sub.add_parser("census", help="empirical topography census")
+    p.add_argument("--samples", type=int, default=200)
+    p.add_argument("--txns", type=int, default=3)
+    p.add_argument("--steps", type=int, default=2)
+    p.add_argument("--entities", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_census)
+
+    p = sub.add_parser("sat", help="solve CNF text like 'a|b & ~a|~b'")
+    p.add_argument("formula")
+    p.set_defaults(func=cmd_sat)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

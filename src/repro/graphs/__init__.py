@@ -1,0 +1,6 @@
+"""Graph substrate: digraphs, conflict graphs and polygraphs."""
+
+from repro.graphs.digraph import Digraph
+from repro.graphs.polygraph import Polygraph
+
+__all__ = ["Digraph", "Polygraph"]

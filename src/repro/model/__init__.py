@@ -1,0 +1,34 @@
+"""Schedule model: steps, transactions, schedules, version functions.
+
+This subpackage is the substrate for everything else: it implements the
+database model of Section 2 of the paper — entities accessed atomically by
+transactions through read and write steps, schedules as shuffles of
+transactions, padded schedules with the initial transaction ``T0`` and the
+final transaction ``Tf``, version functions, and READ-FROM relations.
+"""
+
+from repro.model.steps import Step, Op, read, write
+from repro.model.transactions import Transaction, TransactionSystem
+from repro.model.schedules import Schedule, T_INIT, T_FINAL
+from repro.model.parsing import parse_schedule, parse_transaction, format_schedule
+from repro.model.version_functions import VersionFunction, standard_version_function
+from repro.model.readfrom import read_from_relation, view_of
+
+__all__ = [
+    "Step",
+    "Op",
+    "read",
+    "write",
+    "Transaction",
+    "TransactionSystem",
+    "Schedule",
+    "T_INIT",
+    "T_FINAL",
+    "parse_schedule",
+    "parse_transaction",
+    "format_schedule",
+    "VersionFunction",
+    "standard_version_function",
+    "read_from_relation",
+    "view_of",
+]

@@ -1,0 +1,209 @@
+"""Exhaustive and random enumeration of schedules.
+
+Used by tests (cross-checking deciders on all small schedules), by the
+topography census (E9) and by the scheduler acceptance experiments (E10).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator, Sequence
+
+from repro.model.schedules import Schedule
+from repro.model.steps import Entity, Step, read, write
+from repro.model.transactions import Transaction, TransactionSystem
+
+
+def interleavings(system: TransactionSystem) -> Iterator[Schedule]:
+    """All schedules of a transaction system (every shuffle).
+
+    The number of interleavings is the multinomial coefficient of the
+    transactions' lengths; keep systems tiny (total steps <= ~12).
+    """
+    sequences = [t.steps for t in system]
+    counts = [len(s) for s in sequences]
+    total = sum(counts)
+
+    def rec(taken: list[int], acc: list[Step]) -> Iterator[Schedule]:
+        if len(acc) == total:
+            yield Schedule(tuple(acc))
+            return
+        for k, seq in enumerate(sequences):
+            if taken[k] < len(seq):
+                taken[k] += 1
+                acc.append(seq[taken[k] - 1])
+                yield from rec(taken, acc)
+                acc.pop()
+                taken[k] -= 1
+
+    yield from rec([0] * len(sequences), [])
+
+
+def count_interleavings(system: TransactionSystem) -> int:
+    """Number of distinct shuffles (multinomial coefficient)."""
+    total = system.total_steps()
+    out = 1
+    remaining = total
+    for t in system:
+        out *= _comb(remaining, len(t))
+        remaining -= len(t)
+    return out
+
+
+def _comb(n: int, k: int) -> int:
+    out = 1
+    for i in range(1, k + 1):
+        out = out * (n - k + i) // i
+    return out
+
+
+def random_interleaving(
+    system: TransactionSystem, rng: random.Random
+) -> Schedule:
+    """One uniformly random shuffle of the system's transactions."""
+    pools = {t.txn: list(t.steps) for t in system}
+    tickets: list = []
+    for t in system:
+        tickets.extend([t.txn] * len(t))
+    rng.shuffle(tickets)
+    cursors = {txn: 0 for txn in pools}
+    steps = []
+    for txn in tickets:
+        steps.append(pools[txn][cursors[txn]])
+        cursors[txn] += 1
+    return Schedule(tuple(steps))
+
+
+def all_transactions(
+    txn, entities: Sequence[Entity], length: int
+) -> Iterator[Transaction]:
+    """Every transaction of exactly ``length`` steps over ``entities``."""
+    alphabet = [
+        (kind, entity) for kind in ("R", "W") for entity in entities
+    ]
+    for combo in itertools.product(alphabet, repeat=length):
+        steps = tuple(
+            read(txn, e) if kind == "R" else write(txn, e) for kind, e in combo
+        )
+        yield Transaction(txn, steps)
+
+
+def all_systems(
+    n_txns: int, entities: Sequence[Entity], steps_per_txn: int
+) -> Iterator[TransactionSystem]:
+    """Every transaction system with the given shape (cartesian product)."""
+    per_txn = [
+        list(all_transactions(i + 1, entities, steps_per_txn))
+        for i in range(n_txns)
+    ]
+    for combo in itertools.product(*per_txn):
+        yield TransactionSystem.of(combo)
+
+
+def all_schedules(
+    n_txns: int, entities: Sequence[Entity], steps_per_txn: int
+) -> Iterator[Schedule]:
+    """Every schedule of every system with the given shape.  Explodes fast."""
+    for system in all_systems(n_txns, entities, steps_per_txn):
+        yield from interleavings(system)
+
+
+def random_transaction(
+    txn,
+    entities: Sequence[Entity],
+    n_steps: int,
+    rng: random.Random,
+    read_fraction: float = 0.5,
+    zipf_skew: float = 0.0,
+) -> Transaction:
+    """A random transaction; ``zipf_skew > 0`` concentrates on hot entities.
+
+    With ``zipf_skew = 0`` entities are uniform; with skew ``a`` entity
+    ``k`` (1-based rank) has weight ``1 / k**a``, modelling the hot-spot
+    workloads that motivate multiversion concurrency control.
+    """
+    if zipf_skew > 0:
+        weights = [1.0 / (k + 1) ** zipf_skew for k in range(len(entities))]
+    else:
+        weights = [1.0] * len(entities)
+    steps: list[Step] = []
+    for _ in range(n_steps):
+        entity = rng.choices(entities, weights=weights, k=1)[0]
+        if rng.random() < read_fraction:
+            steps.append(read(txn, entity))
+        else:
+            steps.append(write(txn, entity))
+    return Transaction(txn, tuple(steps))
+
+
+def random_system(
+    n_txns: int,
+    entities: Sequence[Entity],
+    steps_per_txn: int,
+    rng: random.Random,
+    read_fraction: float = 0.5,
+    zipf_skew: float = 0.0,
+) -> TransactionSystem:
+    """A random transaction system with homogeneous parameters."""
+    return TransactionSystem.of(
+        random_transaction(
+            i + 1, entities, steps_per_txn, rng, read_fraction, zipf_skew
+        )
+        for i in range(n_txns)
+    )
+
+
+def random_schedule(
+    n_txns: int,
+    entities: Sequence[Entity],
+    steps_per_txn: int,
+    rng: random.Random,
+    read_fraction: float = 0.5,
+    zipf_skew: float = 0.0,
+) -> Schedule:
+    """A random schedule: random system, then a random shuffle of it."""
+    system = random_system(
+        n_txns, entities, steps_per_txn, rng, read_fraction, zipf_skew
+    )
+    return random_interleaving(system, rng)
+
+
+def to_restricted(transaction: Transaction) -> Transaction:
+    """The restricted-model version: no writes of unread entities.
+
+    [PK84]'s restricted model — in which testing MVSR is polynomial, and
+    which DMVSR emulates — forbids a transaction from writing an entity
+    it has not read.  This transform inserts a read immediately before
+    each blind write, like the DMVSR augmentation but at the transaction
+    level (before scheduling).
+    """
+    steps: list[Step] = []
+    seen: set[Entity] = set()
+    for step in transaction.steps:
+        if step.is_read:
+            seen.add(step.entity)
+        elif step.entity not in seen:
+            steps.append(read(transaction.txn, step.entity))
+            seen.add(step.entity)
+        steps.append(step)
+    return Transaction(transaction.txn, tuple(steps))
+
+
+def restricted_random_system(
+    n_txns: int,
+    entities: Sequence[Entity],
+    steps_per_txn: int,
+    rng: random.Random,
+    read_fraction: float = 0.5,
+    zipf_skew: float = 0.0,
+) -> TransactionSystem:
+    """A random system in the restricted model (no readless writes)."""
+    return TransactionSystem.of(
+        to_restricted(
+            random_transaction(
+                i + 1, entities, steps_per_txn, rng, read_fraction, zipf_skew
+            )
+        )
+        for i in range(n_txns)
+    )

@@ -1,0 +1,103 @@
+"""Parsing and formatting of the paper's schedule notation.
+
+The textual form is a whitespace-separated sequence of steps written
+``R<txn>(<entity>)`` / ``W<txn>(<entity>)``, e.g.::
+
+    R1(x) W1(x) R2(x) R2(y) W2(y) R1(y) W1(y)
+    RA(x) WA(x) RB(x) WB(y) WA(y) WC(y)
+
+Transaction names that are all digits parse as ints, everything else stays
+a string, so ``R1(x)`` gives transaction ``1`` and ``RA(x)`` gives ``"A"``.
+Commas and semicolons are accepted as step separators as well.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.model.schedules import Schedule
+from repro.model.steps import Op, Step, TxnId
+from repro.model.transactions import Transaction
+
+_STEP_RE = re.compile(r"([RW])\s*([A-Za-z0-9_]+)\s*\(\s*([A-Za-z0-9_'.]+)\s*\)")
+
+
+def _parse_txn_id(token: str) -> TxnId:
+    return int(token) if token.isdigit() else token
+
+
+def parse_schedule(text: str) -> Schedule:
+    """Parse a schedule from the ``R1(x) W2(y) ...`` notation.
+
+    Raises ``ValueError`` when the text contains anything that is not a
+    step (so typos do not silently truncate a schedule).
+    """
+    steps: list[Step] = []
+    pos = 0
+    cleaned = text.replace(",", " ").replace(";", " ")
+    for match in _STEP_RE.finditer(cleaned):
+        between = cleaned[pos : match.start()].strip()
+        if between:
+            raise ValueError(f"unparsable fragment {between!r} in schedule text")
+        op = Op.READ if match.group(1) == "R" else Op.WRITE
+        steps.append(Step(_parse_txn_id(match.group(2)), op, match.group(3)))
+        pos = match.end()
+    trailing = cleaned[pos:].strip()
+    if trailing:
+        raise ValueError(f"unparsable fragment {trailing!r} in schedule text")
+    return Schedule(tuple(steps))
+
+
+def parse_transaction(txn: TxnId, text: str) -> Transaction:
+    """Parse a transaction body like ``R(x) W(x) W(y)`` for id ``txn``.
+
+    The transaction id may be omitted in the text (``R(x)``) or present
+    (``R1(x)``); when present it must match ``txn``.
+    """
+    pattern = re.compile(r"([RW])\s*([A-Za-z0-9_]*)\s*\(\s*([A-Za-z0-9_'.]+)\s*\)")
+    steps: list[Step] = []
+    pos = 0
+    for match in pattern.finditer(text):
+        between = text[pos : match.start()].strip()
+        if between:
+            raise ValueError(f"unparsable fragment {between!r} in transaction text")
+        if match.group(2):
+            declared = _parse_txn_id(match.group(2))
+            if declared != txn:
+                raise ValueError(
+                    f"step transaction {declared!r} does not match {txn!r}"
+                )
+        op = Op.READ if match.group(1) == "R" else Op.WRITE
+        steps.append(Step(txn, op, match.group(3)))
+        pos = match.end()
+    trailing = text[pos:].strip()
+    if trailing:
+        raise ValueError(f"unparsable fragment {trailing!r} in transaction text")
+    return Transaction(txn, tuple(steps))
+
+
+def format_schedule(schedule: Schedule) -> str:
+    """Render a schedule back into the paper's notation."""
+    return " ".join(str(s) for s in schedule)
+
+
+def format_schedule_by_transaction(schedule: Schedule) -> str:
+    """Render a schedule as the paper's figures do: one row per transaction.
+
+    Columns are schedule positions, so the interleaving is visible::
+
+        A: R(x) W(x)
+        B:           R(x)      W(y)
+    """
+    txns = schedule.txn_ids
+    cells = [str(s) for s in schedule]
+    widths = [len(c) + 1 for c in cells]
+    lines = []
+    label_width = max((len(str(t)) for t in txns), default=0)
+    for t in txns:
+        row = []
+        for i, step in enumerate(schedule):
+            cell = str(step) if step.txn == t else ""
+            row.append(cell.ljust(widths[i]))
+        lines.append(f"{str(t).rjust(label_width)}: " + "".join(row).rstrip())
+    return "\n".join(lines)

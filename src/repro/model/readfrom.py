@@ -1,0 +1,130 @@
+"""READ-FROM relations and views (paper §2).
+
+``R_i(x_j)`` — "``T_i`` reads ``x`` from ``T_j``" — holds in a full
+schedule ``(s, V)`` when ``V`` maps the read step ``R_i(x)`` to the write
+step ``W_j(x)``.  The READ-FROM relation of ``(s, V)`` is the set of
+triples ``(T_j, x, T_i)``; two full schedules are *view-equivalent* iff
+their READ-FROM relations are identical.
+
+Reads with no preceding write read from the initial transaction ``T0``
+(implicit padding), so the relation is well defined on unpadded schedules
+as well.
+"""
+
+from __future__ import annotations
+
+from repro.model.schedules import Schedule, T_INIT
+from repro.model.steps import Entity, TxnId
+from repro.model.version_functions import VersionFunction
+
+#: One READ-FROM fact: (writer transaction, entity, reader transaction).
+ReadFrom = tuple[TxnId, Entity, TxnId]
+
+
+def read_from_relation(
+    schedule: Schedule, version_function: VersionFunction | None = None
+) -> frozenset[ReadFrom]:
+    """The READ-FROM relation of ``(schedule, V)``.
+
+    With ``version_function=None`` the standard version function is used,
+    which gives the single-version READ-FROM relation of the schedule.
+    """
+    vf = version_function or VersionFunction.standard(schedule)
+    out: set[ReadFrom] = set()
+    for i in schedule.read_indices():
+        step = schedule[i]
+        out.add((vf.source_txn(schedule, i), step.entity, step.txn))
+    return frozenset(out)
+
+
+def read_from_map(
+    schedule: Schedule, version_function: VersionFunction | None = None
+) -> dict[int, TxnId]:
+    """Per-read source transactions, keyed by read position.
+
+    Unlike :func:`read_from_relation` (a set, per the paper), this keeps
+    one entry per read *occurrence*, which the deciders need when a
+    transaction reads the same entity twice.
+    """
+    vf = version_function or VersionFunction.standard(schedule)
+    return {i: vf.source_txn(schedule, i) for i in schedule.read_indices()}
+
+
+def view_of(
+    schedule: Schedule,
+    txn: TxnId,
+    version_function: VersionFunction | None = None,
+) -> frozenset[tuple[Entity, TxnId]]:
+    """The view of ``txn``: the set of versions ``x_j`` it reads."""
+    vf = version_function or VersionFunction.standard(schedule)
+    out: set[tuple[Entity, TxnId]] = set()
+    for i in schedule.step_indices_of(txn):
+        step = schedule[i]
+        if step.is_read:
+            out.add((step.entity, vf.source_txn(schedule, i)))
+    return frozenset(out)
+
+
+def view_equivalent(
+    first: Schedule,
+    second: Schedule,
+    first_vf: VersionFunction | None = None,
+    second_vf: VersionFunction | None = None,
+) -> bool:
+    """View equivalence of two full schedules: identical READ-FROMs.
+
+    The schedules must be over the same transaction system for the
+    comparison to be meaningful; this is not checked here.
+    """
+    return read_from_relation(first, first_vf) == read_from_relation(
+        second, second_vf
+    )
+
+
+def serial_read_from_sources(
+    schedule: Schedule, txn_order: list[TxnId]
+) -> dict[int, TxnId] | None:
+    """Sources each read would have in the serial schedule ``txn_order``.
+
+    Given a (padded or not) schedule and a total order of its transactions,
+    compute for every read position of ``schedule`` the transaction it
+    would read from in the serial schedule that runs the projections in
+    ``txn_order``.  Within a transaction, a read that is preceded by a
+    write of the same entity *in the same transaction* reads that own
+    write; otherwise it reads the last write among earlier transactions,
+    or ``T0``.
+
+    Returns ``None`` if ``txn_order`` does not cover the schedule's
+    transactions.
+    """
+    position = {t: k for k, t in enumerate(txn_order)}
+    if any(t not in position for t in schedule.txn_ids):
+        return None
+    # Last writer of each entity among transactions up to each order slot.
+    writers: dict[Entity, list[tuple[int, TxnId]]] = {}
+    for t in schedule.txn_ids:
+        for i in schedule.step_indices_of(t):
+            step = schedule[i]
+            if step.is_write:
+                writers.setdefault(step.entity, []).append((position[t], t))
+    for entity in writers:
+        writers[entity].sort()
+
+    out: dict[int, TxnId] = {}
+    for t in schedule.txn_ids:
+        own_written: set[Entity] = set()
+        for i in schedule.step_indices_of(t):
+            step = schedule[i]
+            if step.is_write:
+                own_written.add(step.entity)
+            else:
+                if step.entity in own_written:
+                    out[i] = t
+                    continue
+                source: TxnId = T_INIT
+                for pos, writer in writers.get(step.entity, ()):
+                    if pos >= position[t]:
+                        break
+                    source = writer
+                out[i] = source
+    return out

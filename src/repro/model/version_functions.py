@@ -1,0 +1,126 @@
+"""Version functions and full schedules (paper §2, multiversion model).
+
+A *version function* ``V`` for a schedule ``s`` assigns to each read step a
+previous write step of the same entity — not necessarily the last one.  The
+pair ``(s, V)`` is a *full schedule*.  The *standard* version function
+``V_s`` assigns to each read the last previous write, recovering exactly
+single-version semantics.
+
+Representation: reads are identified by their schedule position; the source
+of a read is either the schedule position of a write step, or the sentinel
+:data:`~repro.model.schedules.T_INIT` meaning the initial version written
+by the padding transaction ``T0``.  Using the sentinel keeps version
+functions meaningful on unpadded schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.model.schedules import Schedule, T_INIT
+from repro.model.steps import TxnId
+
+#: A read's source: position of a write step, or T_INIT for the initial version.
+Source = int | str
+
+
+@dataclass(frozen=True)
+class VersionFunction:
+    """A (possibly partial) assignment of reads to previous writes.
+
+    ``assignments`` maps the schedule position of a read step to either the
+    schedule position of an earlier write of the same entity or ``T_INIT``.
+    A version function *defined on a prefix p* (as in the OLS definition)
+    is simply one whose domain is the reads of ``p``.
+    """
+
+    assignments: Mapping[int, Source]
+
+    @classmethod
+    def of(cls, assignments: Mapping[int, Source]) -> "VersionFunction":
+        return cls(dict(assignments))
+
+    @classmethod
+    def standard(cls, schedule: Schedule) -> "VersionFunction":
+        """The standard version function ``V_s``: read the last prior write."""
+        out: dict[int, Source] = {}
+        for i in schedule.read_indices():
+            w = schedule.last_write_before(i, schedule[i].entity)
+            out[i] = T_INIT if w is None else w
+        return cls(out)
+
+    def __getitem__(self, read_index: int) -> Source:
+        return self.assignments[read_index]
+
+    def __contains__(self, read_index: int) -> bool:
+        return read_index in self.assignments
+
+    def __len__(self) -> int:
+        return len(self.assignments)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.assignments)
+
+    def is_total_on(self, schedule: Schedule) -> bool:
+        """True iff every read of ``schedule`` has an assignment."""
+        return all(i in self.assignments for i in schedule.read_indices())
+
+    def validate(self, schedule: Schedule) -> None:
+        """Raise ``ValueError`` unless this is a legal version function.
+
+        Legality (paper §2): every assigned position is a read; every
+        source is a *previous* write step of the *same* entity (or T0).
+        """
+        for r, src in self.assignments.items():
+            if not (0 <= r < len(schedule)) or not schedule[r].is_read:
+                raise ValueError(f"position {r} is not a read step")
+            if src == T_INIT:
+                continue
+            if not isinstance(src, int):
+                raise ValueError(f"bad source {src!r} for read at {r}")
+            if not (0 <= src < len(schedule)) or not schedule[src].is_write:
+                raise ValueError(f"source {src} of read {r} is not a write step")
+            if schedule[src].entity != schedule[r].entity:
+                raise ValueError(
+                    f"source {src} writes {schedule[src].entity!r}, read {r} "
+                    f"accesses {schedule[r].entity!r}"
+                )
+            if src >= r:
+                raise ValueError(
+                    f"source {src} does not precede read {r}: a version "
+                    "function may only assign previous writes"
+                )
+
+    def source_txn(self, schedule: Schedule, read_index: int) -> TxnId:
+        """Transaction that wrote the version read at ``read_index``."""
+        src = self.assignments[read_index]
+        return T_INIT if src == T_INIT else schedule[src].txn
+
+    def extends(self, other: "VersionFunction") -> bool:
+        """True iff this function agrees with ``other`` on its whole domain."""
+        return all(
+            r in self.assignments and self.assignments[r] == src
+            for r, src in other.assignments.items()
+        )
+
+    def restricted_to(self, read_indices) -> "VersionFunction":
+        """The restriction of this function to the given read positions."""
+        wanted = set(read_indices)
+        return VersionFunction(
+            {r: s for r, s in self.assignments.items() if r in wanted}
+        )
+
+    def merged_with(self, other: "VersionFunction") -> "VersionFunction":
+        """Union of two version functions; they must agree on overlap."""
+        merged = dict(self.assignments)
+        for r, src in other.assignments.items():
+            if r in merged and merged[r] != src:
+                raise ValueError(f"conflicting assignments for read {r}")
+            merged[r] = src
+        return VersionFunction(merged)
+
+
+def standard_version_function(schedule: Schedule) -> VersionFunction:
+    """Convenience alias for :meth:`VersionFunction.standard`."""
+    return VersionFunction.standard(schedule)

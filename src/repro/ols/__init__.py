@@ -1,0 +1,31 @@
+"""On-line schedulability (OLS) of sets of schedules (paper §4).
+
+A subset ``S`` of MVSR is *on-line schedulable* iff for every prefix ``p``
+of a schedule in ``S`` there is a version function ``V`` on ``p`` such
+that every ``pq`` in ``S`` has a serializing version function extending
+``V``.  OLS is necessary for a set of schedules to be the output of a
+multiversion scheduler — the basic limitation of the multiversion
+approach.  Theorem 4 shows deciding OLS is NP-complete even for pairs of
+MVCSR schedules; this package supplies the exact (exponential) decision
+procedure those results are benchmarked against.
+"""
+
+from repro.ols.decision import (
+    is_ols,
+    ols_certificate,
+    OLSCertificate,
+    prefix_signatures,
+    branching_prefixes,
+    shared_signature,
+    witness_exists,
+)
+
+__all__ = [
+    "is_ols",
+    "ols_certificate",
+    "OLSCertificate",
+    "prefix_signatures",
+    "branching_prefixes",
+    "shared_signature",
+    "witness_exists",
+]

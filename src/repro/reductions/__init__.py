@@ -1,0 +1,41 @@
+"""The paper's NP-hardness pipeline, implemented end to end.
+
+::
+
+    CNF --to_3sat--> 3-SAT --to_monotone--> monotone 2-3-SAT
+        --monotone_sat_to_polygraph-->  polygraph  (acyclic iff satisfiable)
+        --theorem4_schedules-->  {s1, s2}          (OLS iff acyclic)
+        --theorem5_schedule--->  s                 (accepted by every maximal
+                                                    MVSR scheduler iff acyclic)
+        --theorem6_adaptive---> s vs. scheduler R  (accepted by R iff acyclic)
+
+plus the reverse bridge ``polygraph_acyclicity_cnf`` (polygraph acyclicity
+as a SAT instance), which turns the package's DPLL solver into a second,
+independent polygraph decider.
+"""
+
+from repro.reductions.polygraph_sat import (
+    polygraph_acyclicity_cnf,
+    polygraph_is_acyclic_sat,
+)
+from repro.reductions.sat_to_polygraph import (
+    monotone_sat_to_polygraph,
+    sat_to_polygraph,
+    decode_assignment,
+    SatPolygraph,
+)
+from repro.reductions.theorem4 import theorem4_schedules
+from repro.reductions.theorem5 import theorem5_schedule
+from repro.reductions.theorem6 import theorem6_adaptive_construction
+
+__all__ = [
+    "polygraph_acyclicity_cnf",
+    "polygraph_is_acyclic_sat",
+    "monotone_sat_to_polygraph",
+    "sat_to_polygraph",
+    "decode_assignment",
+    "SatPolygraph",
+    "theorem4_schedules",
+    "theorem5_schedule",
+    "theorem6_adaptive_construction",
+]

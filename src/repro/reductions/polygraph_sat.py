@@ -1,0 +1,69 @@
+"""Polygraph acyclicity as a SAT instance (the reverse bridge).
+
+A compatible digraph is acyclic iff its arcs embed in a total order of the
+nodes, so polygraph acyclicity is: does a total order exist in which every
+arc points forward and, for every choice ``(j, k, i)``, ``j < k`` or
+``k < i``?  We encode the total order with boolean *precedence* variables
+and cubic transitivity clauses, then solve with the package's DPLL solver.
+
+This gives an independent second decider for polygraph acyclicity that the
+tests cross-check against the backtracking decider in
+:class:`repro.graphs.polygraph.Polygraph`, and it is the "SAT backend"
+ablation of experiment E6.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.polygraph import Polygraph
+from repro.sat.cnf import CNF, Lit
+from repro.sat.solver import solve
+
+
+def _order_literal(u, v, canon: dict) -> Lit:
+    """Literal meaning "u precedes v" over antisymmetric variables.
+
+    One variable ``("ord", a, b)`` exists per unordered pair with ``a``
+    canonically smaller; ``u before v`` is the positive literal when
+    ``u == a`` and the negative one otherwise.
+    """
+    a, b = (u, v) if canon[u] < canon[v] else (v, u)
+    return (("ord", a, b), u == a)
+
+
+def polygraph_acyclicity_cnf(poly: Polygraph) -> CNF:
+    """CNF satisfiable iff the polygraph is acyclic."""
+    nodes = sorted(poly.nodes, key=repr)
+    canon = {n: idx for idx, n in enumerate(nodes)}
+    cnf = CNF()
+
+    def before(u, v) -> Lit:
+        return _order_literal(u, v, canon)
+
+    def negated(lit: Lit) -> Lit:
+        return (lit[0], not lit[1])
+
+    # Transitivity: (u<v and v<w) -> u<w for all ordered triples.
+    for u in nodes:
+        for v in nodes:
+            if v == u:
+                continue
+            for w in nodes:
+                if w in (u, v):
+                    continue
+                cnf.add_clause(
+                    negated(before(u, v)), negated(before(v, w)), before(u, w)
+                )
+
+    # Arcs point forward.
+    for tail, head in sorted(poly.arcs, key=repr):
+        cnf.add_clause(before(tail, head))
+
+    # Choices: (j, k) or (k, i).
+    for j, k, i in poly.choices:
+        cnf.add_clause(before(j, k), before(k, i))
+    return cnf
+
+
+def polygraph_is_acyclic_sat(poly: Polygraph) -> bool:
+    """Decide polygraph acyclicity through the SAT encoding."""
+    return solve(polygraph_acyclicity_cnf(poly)) is not None

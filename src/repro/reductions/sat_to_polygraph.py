@@ -1,0 +1,193 @@
+"""Monotone SAT -> polygraph acyclicity (NP-hardness seed).
+
+[Papadimitriou 79] proves polygraph acyclicity NP-complete by reducing a
+restricted satisfiability problem: clauses of two or three literals, each
+clause *all-positive or all-negative* (monotone).  The JACM construction
+is only sketched in the present paper ("choices corresponding to each
+variable and to copies of literals; arcs joining the variable-choices with
+the copy-choices and the copy-choices into hexagons"), so this module is a
+faithful *reconstruction* with the same interface and the same structural
+properties that Theorems 4 and 6 consume:
+
+* (a) after :meth:`Polygraph.ensure_property_a`, every arc has a choice;
+* (b) the first branches of the choices form an acyclic graph (here they
+  are node-disjoint, hence a matching);
+* (c) the base arcs ``(N, A)`` form an acyclic graph;
+* choices are node-disjoint (required by the Theorem 6 proof).
+
+Construction
+============
+
+Every choice is a *switch* ``(j, k, i)`` with the definitional arc
+``i -> j``; picking branch ``(j, k)`` is state **UP**, picking ``(k, i)``
+is **DOWN**.  When UP, the switch has the internal path ``i -> j -> k``.
+
+* **Copies.**  One switch ``C_o`` per literal occurrence.  UP means "this
+  literal is false".
+* **Hexagons.**  Per clause, ring arcs ``k_{o_t} -> i_{o_{t+1}}`` join the
+  copies cyclically; if every copy of a clause is (effectively) UP the
+  ring closes into a cycle — an unsatisfied clause is a cycle.
+* **Anchors.**  Per variable ``v``, a chain of switches ``V^1..V^m``, one
+  per occurrence: first the positive occurrences (in clause-index order),
+  then the negative ones.  Consecutive anchors are wired so that
+  ``V^t`` DOWN and ``V^{t+1}`` UP closes a cycle — so in any acyclic
+  selection the chain looks like ``UP* DOWN*``.
+* **Copy-anchor links.**  A positive copy DOWN with its anchor UP closes a
+  cycle (so claiming ``v`` true forces the anchor chain DOWN from its slot
+  onward); a negative copy DOWN with its anchor DOWN closes a cycle (so
+  claiming ``v`` false forces the chain UP up to its slot).  Hence a
+  positive and a negative copy of the same variable can never both be
+  DOWN: contradictory claims are cycles.
+* **Wiring detail** (the part that keeps *unintended* cycles out): the UP
+  detector of a switch enters at ``j`` and exits at ``k``; the DOWN
+  detector enters at ``k`` and exits at ``i``.  All cross-switch traffic
+  then runs one way — from negative copies through the anchor chain down
+  to positive copies — and within one side a jump from a copy can only
+  reach copies with *smaller* anchor slots (the chain's ``k``-arcs point
+  downward).  Anchor slots are ordered by clause index, so any cycle's
+  jumps are slot-preserving, i.e. stay inside a single copy, i.e. the
+  cycle traverses one full hexagon: exactly an unsatisfied clause.
+
+``tests/reductions/test_sat_to_polygraph.py`` verifies *acyclic iff
+satisfiable* exhaustively on small monotone formulas and on randomized
+larger ones, against brute-force SAT and brute-force polygraph search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graphs.polygraph import Polygraph
+from repro.sat.cnf import CNF, Var
+from repro.sat.transforms import is_monotone, restricted_satisfiability_instance
+
+#: Node naming: ("o", clause_index, slot_in_clause, role) for copy switches,
+#: ("v", var, chain_position, role) for anchor switches; role in "ijk".
+
+
+@dataclass
+class SatPolygraph:
+    """A polygraph produced from a monotone formula, plus decode metadata."""
+
+    polygraph: Polygraph
+    formula: CNF
+    #: choice-list index of each occurrence switch, keyed by (clause, slot).
+    occurrence_choice: dict = field(default_factory=dict)
+    #: (var, polarity) of each occurrence, keyed by (clause, slot).
+    occurrence_literal: dict = field(default_factory=dict)
+
+    def decode(self, selection: list[int]) -> dict[Var, bool]:
+        """Assignment induced by an acyclic selection (branch 1 = DOWN).
+
+        A positive copy DOWN claims its variable true; a negative copy
+        DOWN claims it false; unclaimed variables default to ``False``.
+        In an acyclic selection the claims are consistent and satisfy the
+        formula (verified in the tests).
+        """
+        assignment: dict[Var, bool] = {}
+        for key, choice_index in self.occurrence_choice.items():
+            var, polarity = self.occurrence_literal[key]
+            if selection[choice_index] == 1:  # DOWN: the literal is true
+                assignment[var] = polarity
+        for var in self.formula.variables:
+            assignment.setdefault(var, False)
+        return assignment
+
+
+def monotone_sat_to_polygraph(formula: CNF) -> SatPolygraph:
+    """Reduce a monotone 2-3-SAT formula to polygraph acyclicity.
+
+    The polygraph is acyclic iff the formula is satisfiable.  Duplicate
+    literals inside a clause are collapsed first (they would otherwise let
+    a partial hexagon bypass the other copies).
+    """
+    if not is_monotone(formula, max_clause=3, min_clause=1):
+        raise ValueError(
+            "formula must be monotone with 1-3 literals per clause; "
+            "run to_3sat/to_monotone first"
+        )
+    # Normalize: dedupe literals within each clause, keep clause order.
+    clauses: list[list[tuple[Var, bool]]] = []
+    for clause in formula.clauses:
+        seen: list[tuple[Var, bool]] = []
+        for lit in clause:
+            if lit not in seen:
+                seen.append(lit)
+        clauses.append(seen)
+
+    poly = Polygraph()
+    out = SatPolygraph(poly, formula)
+
+    def copy_node(ci: int, slot: int, role: str):
+        return ("o", ci, slot, role)
+
+    def anchor_node(var: Var, t: int, role: str):
+        return ("v", var, t, role)
+
+    # Occurrence switches + hexagon rings.
+    occurrences: dict[Var, dict[bool, list[tuple[int, int]]]] = {}
+    for ci, clause in enumerate(clauses):
+        for slot, (var, polarity) in enumerate(clause):
+            j = copy_node(ci, slot, "j")
+            k = copy_node(ci, slot, "k")
+            i = copy_node(ci, slot, "i")
+            out.occurrence_choice[(ci, slot)] = len(poly.choices)
+            out.occurrence_literal[(ci, slot)] = (var, polarity)
+            poly.add_choice(j, k, i)
+            occurrences.setdefault(var, {True: [], False: []})[
+                polarity
+            ].append((ci, slot))
+        width = len(clause)
+        for slot in range(width):
+            nxt = (slot + 1) % width
+            poly.add_arc(copy_node(ci, slot, "k"), copy_node(ci, nxt, "i"))
+
+    # Anchor chains + copy-anchor links.
+    for var, by_polarity in sorted(occurrences.items(), key=lambda kv: repr(kv[0])):
+        # Positive slots first, then negative, each in clause order; the
+        # chain is UP* DOWN* in any acyclic selection, so a positive claim
+        # (DOWN at a positive slot) propagates DOWN over all negative
+        # slots, colliding with any negative claim.
+        ordered = [(ci, slot, True) for ci, slot in sorted(by_polarity[True])]
+        ordered += [(ci, slot, False) for ci, slot in sorted(by_polarity[False])]
+        for t, (ci, slot, polarity) in enumerate(ordered):
+            ja = anchor_node(var, t, "j")
+            ka = anchor_node(var, t, "k")
+            ia = anchor_node(var, t, "i")
+            poly.add_choice(ja, ka, ia)
+            jo = copy_node(ci, slot, "j")
+            ko = copy_node(ci, slot, "k")
+            io = copy_node(ci, slot, "i")
+            if polarity:
+                # forbid (copy DOWN, anchor UP):
+                #   k_o -> i_o -> j_o -> j_a -> k_a -> k_o
+                poly.add_arc(jo, ja)
+                poly.add_arc(ka, ko)
+            else:
+                # forbid (anchor DOWN, copy DOWN):
+                #   k_o -> i_o -> j_o -> k_a -> i_a -> k_o
+                poly.add_arc(jo, ka)
+                poly.add_arc(ia, ko)
+            if t > 0:
+                # forbid (V^{t-1} DOWN, V^t UP):
+                #   k_{t-1} -> i_{t-1} -> j_t -> k_t -> k_{t-1}
+                poly.add_arc(anchor_node(var, t - 1, "i"), ja)
+                poly.add_arc(ka, anchor_node(var, t - 1, "k"))
+    return out
+
+
+def sat_to_polygraph(formula: CNF) -> SatPolygraph:
+    """Arbitrary CNF to polygraph, through the monotone restriction.
+
+    The returned :class:`SatPolygraph` carries the *monotone* formula; to
+    recover an assignment for the original variables read the positive
+    proxies: ``sigma(v) = decoded[("mono+", v)]``.
+    """
+    return monotone_sat_to_polygraph(restricted_satisfiability_instance(formula))
+
+
+def decode_assignment(
+    sat_poly: SatPolygraph, selection: list[int]
+) -> dict[Var, bool]:
+    """Module-level alias for :meth:`SatPolygraph.decode`."""
+    return sat_poly.decode(selection)

@@ -1,0 +1,82 @@
+"""Theorem 4: polygraph acyclicity -> OLS of a pair of MVCSR schedules.
+
+Given a polygraph ``P = (N, A, C)`` satisfying the proof's assumptions —
+(a) every arc has a corresponding choice, (b) the first branches of the
+choices form an acyclic graph, (c) ``(N, A)`` is acyclic — construct two
+schedules ``s1 = p q1 r1`` and ``s2 = p q2 r2`` over the transactions
+``N`` such that ``{s1, s2}`` is OLS iff ``P`` is acyclic:
+
+* part (i), in the shared prefix ``p``, for each arc ``a=(i,j)`` and
+  corresponding choice ``b=(j,k,i)``::
+
+      W_k(b)  W_i(b)  R_j(b)
+
+* part (ii), differing between the schedules::
+
+      (ii1)  W_i(b')  W_j(b')  R_k(b')     in s1
+      (ii2)  W_i(b')  R_j(b')  W_k(b')     in s2
+
+* part (iii), per arc ``a=(i,j)``::
+
+      (iii1)  R_i(a)  W_j(a)               in s1
+      (iii2)  W_j(a)  R_i(a)               in s2
+
+``b`` and ``b'`` are entities particular to the (arc, choice) pair and
+``a`` to the arc.  ``MVCG(s1)`` is exactly ``(N, A)`` (the ``R_i(a)
+W_j(a)`` pairs) and ``MVCG(s2)`` is exactly the first-branch graph
+``(N, C1)`` (the ``R_j(b') W_k(b')`` pairs), so both schedules are MVCSR
+by assumptions (b) and (c) — the hardness is *purely* in the on-line
+version-selection conflict between them.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.polygraph import Polygraph
+from repro.model.schedules import Schedule
+from repro.model.steps import Step, read, write
+
+
+def _arc_entity(i, j) -> str:
+    return f"a[{i}->{j}]"
+
+
+def _choice_entities(j, k, i) -> tuple[str, str]:
+    return f"b[{j},{k},{i}]", f"b'[{j},{k},{i}]"
+
+
+def theorem4_schedules(poly: Polygraph) -> tuple[Schedule, Schedule]:
+    """The pair ``(s1, s2)``: OLS iff ``poly`` is acyclic.
+
+    The polygraph must satisfy assumptions (a), (b), (c); use
+    :meth:`Polygraph.ensure_property_a` for (a).  Raises ``ValueError``
+    otherwise, because the equivalence is only proved under them.
+    """
+    if not poly.satisfies_theorem4_assumptions():
+        raise ValueError(
+            "polygraph must satisfy assumptions (a), (b), (c) of Theorem 4"
+        )
+    # Deterministic segment order shared by both schedules.
+    choices = sorted(poly.choices, key=repr)
+    arcs = sorted(poly.arcs, key=repr)
+
+    p: list[Step] = []
+    q1: list[Step] = []
+    q2: list[Step] = []
+    r1: list[Step] = []
+    r2: list[Step] = []
+
+    for j, k, i in choices:
+        b, b_prime = _choice_entities(j, k, i)
+        # (i): W_k(b) W_i(b) R_j(b) — T_j may read b from T_0, T_i or T_k.
+        p += [write(k, b), write(i, b), read(j, b)]
+        # (ii1) / (ii2)
+        q1 += [write(i, b_prime), write(j, b_prime), read(k, b_prime)]
+        q2 += [write(i, b_prime), read(j, b_prime), write(k, b_prime)]
+    for i, j in arcs:
+        a = _arc_entity(i, j)
+        r1 += [read(i, a), write(j, a)]
+        r2 += [write(j, a), read(i, a)]
+
+    s1 = Schedule(tuple(p + q1 + r1))
+    s2 = Schedule(tuple(p + q2 + r2))
+    return s1, s2

@@ -1,0 +1,56 @@
+"""Theorem 5: membership in any maximal OLS subset of MVSR is NP-hard.
+
+Given a polygraph ``P`` (same assumptions as Theorem 4), construct a
+*single* schedule ``s`` whose read-froms are uniquely determined, such
+that ``s`` is MVSR iff ``P`` is acyclic.  By Corollary 1, a schedule with
+forced read-froms is accepted by *every* maximal multiversion scheduler
+if it is MVSR, and by none otherwise — so deciding membership in any
+maximal OLS class decides polygraph acyclicity.
+
+Per arc ``a = (i, j)`` the construction emits ``R_i(a) W_j(a)`` once, and
+per corresponding choice ``b = (j, k, i)``::
+
+    W_i(b)  R_j(b)  W_k(b)      W_k(b')  W_i(b')  R_j(b')
+
+The forcing chain: ``R_i(a)`` can only read ``a`` from ``T0`` (the sole
+writer ``W_j(a)`` comes later), putting ``T_i`` before ``T_j`` in any
+serialization; then ``R_j(b)`` cannot read ``b0`` (``T_i`` writes ``b``
+and precedes ``T_j``) and cannot read ``b_k`` (``W_k(b)`` follows the
+read), so it reads ``b_i``, forcing ``T_k`` outside the interval
+``(T_i, T_j)``; finally ``R_j(b')`` cannot read ``b'0`` nor ``b'_k``
+(``T_k`` is not between ``T_i`` and ``T_j``), so it reads ``b'_i``.
+These are exactly the arc and choice constraints of ``P``.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.polygraph import Polygraph
+from repro.model.schedules import Schedule
+from repro.model.steps import Step, read, write
+from repro.reductions.theorem4 import _arc_entity, _choice_entities
+
+
+def theorem5_schedule(poly: Polygraph) -> Schedule:
+    """The single schedule ``s``: MVSR iff ``poly`` is acyclic."""
+    if not poly.satisfies_theorem4_assumptions():
+        raise ValueError(
+            "polygraph must satisfy assumptions (a), (b), (c) of Theorem 4/5"
+        )
+    steps: list[Step] = []
+    choices_by_arc: dict[tuple, list[tuple]] = {}
+    for j, k, i in sorted(poly.choices, key=repr):
+        choices_by_arc.setdefault((i, j), []).append((j, k, i))
+    for (i, j) in sorted(poly.arcs, key=repr):
+        a = _arc_entity(i, j)
+        steps += [read(i, a), write(j, a)]
+        for (cj, ck, ci) in choices_by_arc.get((i, j), ()):
+            b, b_prime = _choice_entities(cj, ck, ci)
+            steps += [
+                write(ci, b),
+                read(cj, b),
+                write(ck, b),
+                write(ck, b_prime),
+                write(ci, b_prime),
+                read(cj, b_prime),
+            ]
+    return Schedule(tuple(steps))

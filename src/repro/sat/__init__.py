@@ -1,0 +1,26 @@
+"""SAT substrate: CNF formulas, a DPLL solver, and clause-form transforms.
+
+The paper's hardness results all bottom out in the NP-completeness of
+polygraph acyclicity, which [Papadimitriou 79] proves by reduction from a
+restricted satisfiability problem (clauses of two or three literals, each
+clause all-positive or all-negative).  This subpackage supplies that whole
+pipeline: CNF formulas, transformations into the restricted form, a brute
+force reference solver, and a DPLL solver strong enough to act as the
+back-end decision procedure for polygraph acyclicity.
+"""
+
+from repro.sat.cnf import CNF, Clause, Lit
+from repro.sat.solver import solve
+from repro.sat.brute import solve_bruteforce
+from repro.sat.transforms import to_3sat, to_monotone, is_monotone
+
+__all__ = [
+    "CNF",
+    "Clause",
+    "Lit",
+    "solve",
+    "solve_bruteforce",
+    "to_3sat",
+    "to_monotone",
+    "is_monotone",
+]

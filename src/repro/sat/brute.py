@@ -1,0 +1,32 @@
+"""Brute-force SAT reference solver (tests and small instances only)."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Mapping
+
+from repro.sat.cnf import CNF, Var
+
+
+def solve_bruteforce(formula: CNF) -> Mapping[Var, bool] | None:
+    """Try all assignments; None iff unsatisfiable.
+
+    Exponential in the number of variables — the reference oracle against
+    which :func:`repro.sat.solver.solve` is validated.
+    """
+    variables = formula.variables
+    for values in itertools.product((False, True), repeat=len(variables)):
+        assignment = dict(zip(variables, values))
+        if formula.evaluate(assignment):
+            return assignment
+    return None
+
+
+def count_models(formula: CNF) -> int:
+    """Number of satisfying assignments (over occurring variables)."""
+    variables = formula.variables
+    count = 0
+    for values in itertools.product((False, True), repeat=len(variables)):
+        if formula.evaluate(dict(zip(variables, values))):
+            count += 1
+    return count

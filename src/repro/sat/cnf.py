@@ -1,0 +1,99 @@
+"""CNF formulas.
+
+Variables are arbitrary hashable names; a literal is ``(name, polarity)``
+with ``polarity=True`` for the positive literal.  Clauses are tuples of
+literals; a formula is a list of clauses.  DIMACS-style integer compilation
+is provided for the solver core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Iterator, Mapping
+
+Var = Hashable
+Lit = tuple[Var, bool]
+Clause = tuple[Lit, ...]
+
+
+def pos(var: Var) -> Lit:
+    """The positive literal of ``var``."""
+    return (var, True)
+
+
+def neg(var: Var) -> Lit:
+    """The negative literal of ``var``."""
+    return (var, False)
+
+
+@dataclass
+class CNF:
+    """A CNF formula over named variables."""
+
+    clauses: list[Clause] = field(default_factory=list)
+
+    @classmethod
+    def of(cls, clauses: Iterable[Iterable[Lit]]) -> "CNF":
+        return cls([tuple(c) for c in clauses])
+
+    def add_clause(self, *literals: Lit) -> None:
+        """Append one clause given as literal arguments."""
+        self.clauses.append(tuple(literals))
+
+    @property
+    def variables(self) -> list[Var]:
+        """All variable names, in first-appearance order."""
+        seen: dict[Var, None] = {}
+        for clause in self.clauses:
+            for var, _pol in clause:
+                seen.setdefault(var, None)
+        return list(seen.keys())
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self.clauses)
+
+    def evaluate(self, assignment: Mapping[Var, bool]) -> bool:
+        """Truth value under a total assignment.
+
+        Raises ``KeyError`` if the assignment misses a variable that is
+        needed to decide some clause.
+        """
+        for clause in self.clauses:
+            satisfied = False
+            for var, polarity in clause:
+                if assignment[var] == polarity:
+                    satisfied = True
+                    break
+            if not satisfied:
+                return False
+        return True
+
+    def to_ints(self) -> tuple[list[list[int]], dict[Var, int]]:
+        """Compile to DIMACS-style integer clauses.
+
+        Returns ``(int_clauses, var_index)`` where variable ``v`` with
+        index ``k`` appears as ``k`` (positive) or ``-k`` (negative),
+        ``k >= 1``.
+        """
+        index: dict[Var, int] = {}
+        int_clauses: list[list[int]] = []
+        for clause in self.clauses:
+            ints = []
+            for var, polarity in clause:
+                k = index.setdefault(var, len(index) + 1)
+                ints.append(k if polarity else -k)
+            int_clauses.append(ints)
+        return int_clauses, index
+
+    def __str__(self) -> str:
+        def lit(literal: Lit) -> str:
+            var, polarity = literal
+            return f"{var}" if polarity else f"~{var}"
+
+        return " & ".join(
+            "(" + " | ".join(lit(l) for l in clause) + ")"
+            for clause in self.clauses
+        )

@@ -1,0 +1,56 @@
+"""Online schedulers: single-version and multiversion.
+
+A scheduler (paper §2) examines each step of an input stream and accepts
+it iff the steps examined so far form a prefix of a schedule in the class
+it recognizes; a multiversion scheduler must *additionally* assign a
+version to each read as it accepts it — on the spot, which is exactly
+where on-line schedulability bites (§4).
+
+Implemented schedulers, ordered by the set of schedules they accept:
+
+=====================  =============================================
+scheduler              accepted set
+=====================  =============================================
+SerialScheduler        serial schedules only
+TwoPhaseLocking        a strict subset of CSR (lock conflicts reject)
+SGTScheduler           exactly CSR (serialization-graph testing)
+TwoVersionTwoPL        between 2PL and MVCSR (two versions per entity)
+MVTOScheduler          an OLS subset of MVSR (timestamp ordering)
+EagerMVCGScheduler     an OLS subset of MVCSR (greedy version choice)
+PolygraphScheduler     a larger OLS subset of MVSR: commits versions
+                       online but keeps ordering constraints as
+                       deferred polygraph choices
+MVCGScheduler          exactly MVCSR — but its version function is only
+                       available at end-of-stream (clairvoyant; MVCSR is
+                       not OLS, §4, so no on-line assignment exists)
+MaximalOracleScheduler a maximal multiversion scheduler (Lemma 1); its
+                       per-step completability test is exponential, as
+                       Theorems 5/6 say it must be
+=====================  =============================================
+"""
+
+from repro.schedulers.base import Scheduler, run_schedule
+from repro.schedulers.serial_sched import SerialScheduler
+from repro.schedulers.twopl import TwoPhaseLocking
+from repro.schedulers.sgt import SGTScheduler
+from repro.schedulers.mvto import MVTOScheduler
+from repro.schedulers.mv2pl import TwoVersionTwoPL
+from repro.schedulers.mvcg import MVCGScheduler, EagerMVCGScheduler
+from repro.schedulers.polygraph_sched import PolygraphScheduler
+from repro.schedulers.maximal import MaximalOracleScheduler
+from repro.schedulers.snapshot import SnapshotIsolationScheduler
+
+__all__ = [
+    "Scheduler",
+    "run_schedule",
+    "SerialScheduler",
+    "TwoPhaseLocking",
+    "SGTScheduler",
+    "MVTOScheduler",
+    "TwoVersionTwoPL",
+    "MVCGScheduler",
+    "EagerMVCGScheduler",
+    "PolygraphScheduler",
+    "MaximalOracleScheduler",
+    "SnapshotIsolationScheduler",
+]

@@ -1,0 +1,110 @@
+"""Scheduler interface.
+
+Schedulers are *testers* in the paper's model: they see a stream of steps
+and accept or reject each one; rejecting a step rejects the schedule (no
+blocking/retry semantics — a lock conflict is a rejection).  Multiversion
+schedulers additionally commit a version assignment for every read they
+accept, available through :meth:`Scheduler.version_function`.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.model.schedules import Schedule
+from repro.model.steps import Step, TxnId
+from repro.model.version_functions import VersionFunction
+
+
+class Scheduler(abc.ABC):
+    """Base class: stateful accept/reject over a stream of steps."""
+
+    #: Human-readable name used in benchmark tables.
+    name: str = "scheduler"
+
+    def __init__(self) -> None:
+        self.accepted_steps: list[Step] = []
+        self.dead: bool = False
+
+    # -- core protocol ---------------------------------------------------
+
+    def submit(self, step: Step) -> bool:
+        """Feed one step; True iff accepted.
+
+        After a rejection the scheduler is *dead*: the schedule has been
+        rejected and every later step is rejected too (the paper's
+        scheduler rejects the step and the schedule).
+        """
+        if self.dead:
+            return False
+        if self._accept(step):
+            self.accepted_steps.append(step)
+            return True
+        self.dead = True
+        return False
+
+    @abc.abstractmethod
+    def _accept(self, step: Step) -> bool:
+        """Decide one step; may mutate internal state only on accept."""
+
+    def reset(self) -> None:
+        """Restore the initial state (a fresh scheduler)."""
+        self.accepted_steps = []
+        self.dead = False
+        self._reset()
+
+    @abc.abstractmethod
+    def _reset(self) -> None:
+        """Subclass part of :meth:`reset`."""
+
+    # -- multiversion extras -----------------------------------------------
+
+    def version_function(self) -> VersionFunction | None:
+        """The version assignment committed so far (None for single-version).
+
+        Positions index into ``accepted_steps``.  Single-version
+        schedulers serve every read the latest version, i.e. the standard
+        version function; they return None to signal "standard".
+        """
+        return None
+
+    def accepts(self, schedule: Schedule) -> bool:
+        """Reset, then feed the whole schedule; True iff all accepted."""
+        self.reset()
+        return all(self.submit(step) for step in schedule)
+
+    def accepted_prefix_length(self, schedule: Schedule) -> int:
+        """Reset, feed until the first rejection, return accepted count."""
+        self.reset()
+        for n, step in enumerate(schedule):
+            if not self.submit(step):
+                return n
+        return len(schedule)
+
+
+def run_schedule(
+    scheduler: Scheduler, schedule: Schedule
+) -> tuple[bool, VersionFunction | None]:
+    """Feed ``schedule``; return (accepted, committed version function)."""
+    accepted = scheduler.accepts(schedule)
+    return accepted, scheduler.version_function()
+
+
+def source_txn_of_last_read(
+    scheduler: Scheduler,
+) -> TxnId | None:
+    """Source transaction the scheduler assigned to its last accepted read.
+
+    None when there is no accepted read or the scheduler is single-version
+    (standard assignment).
+    """
+    reads = [
+        n for n, s in enumerate(scheduler.accepted_steps) if s.is_read
+    ]
+    if not reads:
+        return None
+    vf = scheduler.version_function()
+    if vf is None:
+        return None
+    prefix = Schedule(tuple(scheduler.accepted_steps))
+    return vf.source_txn(prefix, reads[-1])

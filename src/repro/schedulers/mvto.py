@@ -1,0 +1,99 @@
+"""Multiversion timestamp ordering (Reed; [Bernstein & Goodman 83]).
+
+Each transaction gets a timestamp at its first step (arrival order).  A
+read by ``T`` is served the latest version with writer timestamp at most
+``T``'s, and records itself as a reader of that version; a write by ``T``
+is rejected iff it would invalidate a read that already happened — i.e.
+iff some version with timestamp below ``T``'s has a reader with timestamp
+above ``T``'s.  The accepted set is an OLS subset of MVSR: the induced
+serialization order is the timestamp order, so the version function is
+committed on the spot and never retracted — the concession Theorem 4
+shows is unavoidable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.schedules import Schedule, T_INIT
+from repro.model.steps import Entity, Step, TxnId
+from repro.model.version_functions import VersionFunction
+from repro.schedulers.base import Scheduler
+
+
+@dataclass
+class _Version:
+    writer_ts: int
+    writer: TxnId
+    step_position: int | None  # None for the initial version
+    max_reader_ts: int = -1
+    reader_positions: list[int] = field(default_factory=list)
+
+
+class MVTOScheduler(Scheduler):
+    """Multiversion timestamp ordering with reject-on-invalidation."""
+
+    name = "mvto"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._timestamps: dict[TxnId, int] = {}
+        self._versions: dict[Entity, list[_Version]] = {}
+        self._assignments: dict[int, int | str] = {}
+
+    def _reset(self) -> None:
+        self._timestamps = {}
+        self._versions = {}
+        self._assignments = {}
+
+    def _timestamp(self, txn: TxnId) -> int:
+        if txn not in self._timestamps:
+            self._timestamps[txn] = len(self._timestamps)
+        return self._timestamps[txn]
+
+    def _chain(self, entity: Entity) -> list[_Version]:
+        if entity not in self._versions:
+            # The initial version, written by T0 "at minus infinity".
+            self._versions[entity] = [_Version(-1, T_INIT, None)]
+        return self._versions[entity]
+
+    def _accept(self, step: Step) -> bool:
+        ts = self._timestamp(step.txn)
+        position = len(self.accepted_steps)
+        chain = self._chain(step.entity)
+        if step.is_read:
+            # Latest version with writer timestamp <= ts; chain order
+            # breaks ties so a transaction re-reading after several own
+            # writes sees its own latest write.
+            candidates = [
+                (idx, v) for idx, v in enumerate(chain) if v.writer_ts <= ts
+            ]
+            _, version = max(candidates, key=lambda iv: (iv[1].writer_ts, iv[0]))
+            version.max_reader_ts = max(version.max_reader_ts, ts)
+            version.reader_positions.append(position)
+            self._assignments[position] = (
+                T_INIT if version.step_position is None else version.step_position
+            )
+            return True
+        # Write: a second own write shadows the first, so readers of any
+        # earlier same-timestamp version from younger transactions would be
+        # invalidated.
+        for v in chain:
+            if v.writer_ts == ts and v.max_reader_ts > ts:
+                return False
+        # Classic MVTO rule: rejected iff a younger transaction already
+        # read the version this write would slot right after.
+        predecessors = [v for v in chain if v.writer_ts < ts]
+        slot_after = max(predecessors, key=lambda v: v.writer_ts)
+        if slot_after.max_reader_ts > ts:
+            return False
+        chain.append(_Version(ts, step.txn, position))
+        return True
+
+    def version_function(self) -> VersionFunction:
+        """The committed assignment over the accepted prefix."""
+        return VersionFunction(dict(self._assignments))
+
+    def serialization_order(self) -> list[TxnId]:
+        """Timestamp order — the serial order MVTO realizes."""
+        return sorted(self._timestamps, key=self._timestamps.get)

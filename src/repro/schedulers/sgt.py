@@ -1,0 +1,54 @@
+"""Serialization-graph testing: recognizes exactly CSR.
+
+Maintains the conflict graph of the accepted prefix incrementally; a step
+is accepted iff the conflict arcs it introduces keep the graph acyclic.
+Because CSR is prefix-closed and the conflict graph of a prefix is a
+subgraph of the full one, the accepted set is exactly CSR — the largest
+class available to single-version schedulers in polynomial time.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.digraph import Digraph
+from repro.model.steps import Entity, Step, TxnId
+from repro.schedulers.base import Scheduler
+
+
+class SGTScheduler(Scheduler):
+    """Incremental conflict-graph tester."""
+
+    name = "sgt"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._graph = Digraph()
+        self._readers: dict[Entity, list[TxnId]] = {}
+        self._writers: dict[Entity, list[TxnId]] = {}
+
+    def _reset(self) -> None:
+        self._graph = Digraph()
+        self._readers = {}
+        self._writers = {}
+
+    def _accept(self, step: Step) -> bool:
+        txn, entity = step.txn, step.entity
+        self._graph.add_node(txn)
+        if step.is_read:
+            others = self._writers.get(entity, [])
+        else:
+            others = self._writers.get(entity, []) + self._readers.get(
+                entity, []
+            )
+        new_arcs = [(o, txn) for o in others if o != txn]
+
+        trial = self._graph.copy()
+        for tail, head in new_arcs:
+            trial.add_arc(tail, head)
+        if trial.has_cycle():
+            return False
+        self._graph = trial
+        bucket = self._readers if step.is_read else self._writers
+        entry = bucket.setdefault(entity, [])
+        if txn not in entry:
+            entry.append(txn)
+        return True

@@ -1,0 +1,109 @@
+"""Snapshot isolation — the multiversion algorithm the industry shipped.
+
+Forty years downstream of this paper, the dominant production use of
+multiversion storage is *snapshot isolation* (SI): each transaction reads
+the versions committed at its start and writers obey first-committer-wins
+on write-write conflicts.  SI is cheap precisely because it commits a
+version function on the spot (an OLS-style discipline) — but it is **not
+a multiversion scheduler in the paper's sense**: the schedules it accepts
+are not all MVSR.  The classic counterexample is *write skew*::
+
+    T1: R(x) R(y) W(x)      T2: R(x) R(y) W(y)
+
+interleaved so both read before either writes — SI accepts (disjoint
+write sets), yet no version function serializes it.  The test suite and
+benchmark E14 measure exactly how often SI steps outside MVSR, tying the
+1985 framework to the modern anomaly literature.
+
+Model mapping: a transaction *starts* at its first step and *commits* at
+its last (step counts are declared up front, as for 2PL); two
+transactions are concurrent iff their [start, commit] spans overlap.
+"""
+
+from __future__ import annotations
+
+from repro.model.schedules import Schedule, T_INIT
+from repro.model.steps import Entity, Step, TxnId
+from repro.model.version_functions import VersionFunction
+from repro.schedulers.base import Scheduler
+
+
+class SnapshotIsolationScheduler(Scheduler):
+    """First-committer-wins snapshot isolation over the version store."""
+
+    name = "si"
+
+    def __init__(self, steps_per_txn: dict[TxnId, int]) -> None:
+        super().__init__()
+        self._lengths = dict(steps_per_txn)
+        self._seen: dict[TxnId, int] = {}
+        self._start: dict[TxnId, int] = {}
+        self._committed_at: dict[TxnId, int] = {}
+        #: committed versions per entity: (commit position, write position).
+        self._committed_versions: dict[Entity, list[tuple[int, int]]] = {}
+        #: uncommitted writes per txn: entity -> write position.
+        self._pending_writes: dict[TxnId, dict[Entity, int]] = {}
+        self._assignments: dict[int, int | str] = {}
+
+    def _reset(self) -> None:
+        self._seen = {}
+        self._start = {}
+        self._committed_at = {}
+        self._committed_versions = {}
+        self._pending_writes = {}
+        self._assignments = {}
+
+    def _accept(self, step: Step) -> bool:
+        txn, entity = step.txn, step.entity
+        position = len(self.accepted_steps)
+        if txn not in self._start:
+            self._start[txn] = position
+        if step.is_read:
+            pending = self._pending_writes.get(txn, {})
+            if entity in pending:
+                # Own uncommitted write.
+                self._assignments[position] = pending[entity]
+            else:
+                # Latest version committed before this txn's snapshot.
+                snapshot = self._start[txn]
+                source: int | str = T_INIT
+                for commit_pos, write_pos in self._committed_versions.get(
+                    entity, ()
+                ):
+                    if commit_pos <= snapshot:
+                        source = write_pos
+                self._assignments[position] = source
+        else:
+            self._pending_writes.setdefault(txn, {})[entity] = position
+        self._seen[txn] = self._seen.get(txn, 0) + 1
+        if self._seen[txn] >= self._lengths.get(txn, float("inf")):
+            return self._commit(txn, position)
+        return True
+
+    def _commit(self, txn: TxnId, position: int) -> bool:
+        """First-committer-wins: abort on overlapping committed writers."""
+        start = self._start[txn]
+        for entity, write_pos in self._pending_writes.get(txn, {}).items():
+            for commit_pos, _wp in self._committed_versions.get(entity, ()):
+                if commit_pos > start:
+                    # A concurrent transaction committed a write of this
+                    # entity first: this transaction must abort, which in
+                    # the paper's model rejects the schedule.
+                    return False
+        for entity, write_pos in self._pending_writes.pop(txn, {}).items():
+            self._committed_versions.setdefault(entity, []).append(
+                (position, write_pos)
+            )
+            self._committed_versions[entity].sort()
+        self._committed_at[txn] = position
+        return True
+
+    def version_function(self) -> VersionFunction:
+        return VersionFunction(dict(self._assignments))
+
+
+def write_skew_schedule() -> Schedule:
+    """The canonical SI anomaly, in the paper's notation."""
+    from repro.model.parsing import parse_schedule
+
+    return parse_schedule("R1(x) R1(y) R2(x) R2(y) W1(x) W2(y)")

@@ -1,0 +1,72 @@
+"""Strict two-phase locking, rejection semantics.
+
+The classical single-version baseline ([Yannakakis 81]: locking schedulers
+output only CSR schedules).  Locks are acquired per step (shared for
+reads, exclusive for writes, with upgrade) and held until the transaction
+completes — *strict* 2PL.  Since the paper's schedulers cannot block, a
+lock conflict rejects the schedule outright; the accepted set is therefore
+a strict subset of CSR (e.g. ``R1(x) R2(x) W1(y) W2(y)`` with hot read
+locks rejects under 2PL where SGT accepts).
+
+Completion detection: the scheduler is given the number of steps of each
+transaction (the transaction system is declared up front, as in the
+storage engine's executor); locks release when the last step is accepted.
+Without lengths, locks are held forever (a degenerate but safe choice).
+"""
+
+from __future__ import annotations
+
+from repro.model.steps import Entity, Step, TxnId
+from repro.schedulers.base import Scheduler
+
+
+class TwoPhaseLocking(Scheduler):
+    """Strict 2PL with reject-on-conflict."""
+
+    name = "2pl"
+
+    def __init__(self, steps_per_txn: dict[TxnId, int] | None = None) -> None:
+        super().__init__()
+        self._lengths = steps_per_txn
+        self._seen: dict[TxnId, int] = {}
+        self._read_locks: dict[Entity, set[TxnId]] = {}
+        self._write_locks: dict[Entity, TxnId] = {}
+        self._held: dict[TxnId, set[Entity]] = {}
+
+    def _reset(self) -> None:
+        self._seen = {}
+        self._read_locks = {}
+        self._write_locks = {}
+        self._held = {}
+
+    def _accept(self, step: Step) -> bool:
+        txn, entity = step.txn, step.entity
+        if step.is_read:
+            holder = self._write_locks.get(entity)
+            if holder is not None and holder != txn:
+                return False
+            self._read_locks.setdefault(entity, set()).add(txn)
+        else:
+            holder = self._write_locks.get(entity)
+            if holder is not None and holder != txn:
+                return False
+            readers = self._read_locks.get(entity, set()) - {txn}
+            if readers:
+                return False
+            self._write_locks[entity] = txn
+        self._held.setdefault(txn, set()).add(entity)
+        self._seen[txn] = self._seen.get(txn, 0) + 1
+        if (
+            self._lengths is not None
+            and self._seen[txn] >= self._lengths.get(txn, 0)
+        ):
+            self._release(txn)
+        return True
+
+    def _release(self, txn: TxnId) -> None:
+        for entity in self._held.pop(txn, set()):
+            readers = self._read_locks.get(entity)
+            if readers is not None:
+                readers.discard(txn)
+            if self._write_locks.get(entity) == txn:
+                del self._write_locks[entity]

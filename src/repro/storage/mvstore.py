@@ -1,0 +1,98 @@
+"""In-memory multiversion store with version chains.
+
+Each entity holds an ordered chain of versions ("each write step adds a
+value at the end of the set of values of the entity", paper §2); reads are
+served *a chosen* version, not necessarily the latest.  The store is the
+execution substrate under the multiversion schedulers and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.model.schedules import T_INIT
+from repro.model.steps import Entity, TxnId
+
+
+@dataclass(frozen=True)
+class Version:
+    """One version in an entity's chain."""
+
+    entity: Entity
+    writer: TxnId
+    value: Any
+    #: schedule position of the write that installed it (None = initial).
+    position: int | None
+
+    @property
+    def is_initial(self) -> bool:
+        return self.position is None
+
+
+class MultiversionStore:
+    """Entity -> ordered version chain; reads address any live version."""
+
+    def __init__(self, initial: dict[Entity, Any] | None = None) -> None:
+        self._chains: dict[Entity, list[Version]] = {}
+        self._initial_values = dict(initial or {})
+
+    def _chain(self, entity: Entity) -> list[Version]:
+        if entity not in self._chains:
+            value = self._initial_values.get(entity, ("init", entity))
+            self._chains[entity] = [Version(entity, T_INIT, value, None)]
+        return self._chains[entity]
+
+    # -- writes ----------------------------------------------------------
+
+    def install(
+        self, entity: Entity, writer: TxnId, value: Any, position: int
+    ) -> Version:
+        """Append a new version to the entity's chain."""
+        version = Version(entity, writer, value, position)
+        self._chain(entity).append(version)
+        return version
+
+    # -- reads ------------------------------------------------------------
+
+    def latest(self, entity: Entity) -> Version:
+        """The newest version (single-version semantics)."""
+        return self._chain(entity)[-1]
+
+    def initial(self, entity: Entity) -> Version:
+        """The initial (``T0``) version."""
+        return self._chain(entity)[0]
+
+    def at_position(self, entity: Entity, position: int | None) -> Version:
+        """The version installed by the write at ``position``.
+
+        ``None`` (or the T0 sentinel upstream) addresses the initial
+        version.  Raises ``KeyError`` when no such version exists —
+        serving a version that was never installed is a bug in the caller.
+        """
+        for version in self._chain(entity):
+            if version.position == position:
+                return version
+        raise KeyError(f"no version of {entity!r} at position {position}")
+
+    def latest_by(self, entity: Entity, writer: TxnId) -> Version:
+        """The newest version written by ``writer``."""
+        for version in reversed(self._chain(entity)):
+            if version.writer == writer:
+                return version
+        raise KeyError(f"{writer!r} wrote no version of {entity!r}")
+
+    def versions(self, entity: Entity) -> list[Version]:
+        """The full chain, oldest first."""
+        return list(self._chain(entity))
+
+    def entities(self) -> Iterator[Entity]:
+        return iter(self._chains.keys())
+
+    def version_count(self) -> int:
+        """Total number of stored versions (including initials)."""
+        return sum(len(c) for c in self._chains.values())
+
+    def final_state(self) -> dict[Entity, Any]:
+        """Latest value of every touched entity."""
+        return {e: self._chain(e)[-1].value for e in self._chains}

@@ -1,0 +1,43 @@
+"""Single-version store: the baseline the multiversion store generalizes.
+
+Writes overwrite in place (the history is kept only for debugging); reads
+always see the latest value — the standard version function made flesh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.model.steps import Entity, TxnId
+
+
+@dataclass(frozen=True)
+class WriteRecord:
+    entity: Entity
+    writer: TxnId
+    value: Any
+    position: int
+
+
+class SingleVersionStore:
+    """Entity -> current value, with an append-only write log."""
+
+    def __init__(self, initial: dict[Entity, Any] | None = None) -> None:
+        self._initial = dict(initial or {})
+        self._values: dict[Entity, Any] = dict(self._initial)
+        self.log: list[WriteRecord] = []
+
+    def read(self, entity: Entity) -> Any:
+        if entity in self._values:
+            return self._values[entity]
+        return ("init", entity)
+
+    def write(
+        self, entity: Entity, writer: TxnId, value: Any, position: int
+    ) -> None:
+        self._values[entity] = value
+        self.log.append(WriteRecord(entity, writer, value, position))
+
+    def final_state(self) -> dict[Entity, Any]:
+        return dict(self._values)

@@ -1,0 +1,25 @@
+"""Workload generators: synthetic, banking, inventory.
+
+Random-schedule generation lives in :mod:`repro.model.enumeration`; this
+package adds the domain workloads the experiments and examples run —
+transfer-style transactions with integrity constraints, hot-spot access
+patterns, and schedule streams for the scheduler-acceptance experiments.
+"""
+
+from repro.workloads.bank import (
+    BankWorkload,
+    transfer_transaction,
+    bank_programs,
+    total_balance,
+)
+from repro.workloads.inventory import InventoryWorkload
+from repro.workloads.streams import schedule_stream
+
+__all__ = [
+    "BankWorkload",
+    "transfer_transaction",
+    "bank_programs",
+    "total_balance",
+    "InventoryWorkload",
+    "schedule_stream",
+]

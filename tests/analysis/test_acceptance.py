@@ -1,0 +1,63 @@
+"""Scheduler acceptance harness (E10)."""
+
+from repro.analysis.acceptance import acceptance_rates, class_rates
+from repro.schedulers.mvcg import EagerMVCGScheduler, MVCGScheduler
+from repro.schedulers.mvto import MVTOScheduler
+from repro.schedulers.sgt import SGTScheduler
+from repro.schedulers.twopl import TwoPhaseLocking
+from repro.workloads.streams import schedule_stream
+
+
+def _lengths(schedule):
+    return {t: len(schedule.projection(t)) for t in schedule.txn_ids}
+
+
+class TestAcceptanceRates:
+    def test_hierarchy_of_schedulers(self):
+        """The paper's performance ordering, measured: locking < SGT and
+        every multiversion scheduler's rate is bounded by the clairvoyant
+        MVCSR recognizer."""
+        schedules = list(schedule_stream(60, 3, ["x", "y"], 2, seed=0))
+        reports = {
+            r.name: r
+            for r in acceptance_rates(
+                schedules,
+                [
+                    lambda s: TwoPhaseLocking(_lengths(s)),
+                    lambda s: SGTScheduler(),
+                    lambda s: MVTOScheduler(),
+                    lambda s: EagerMVCGScheduler(),
+                    lambda s: MVCGScheduler(),
+                ],
+            )
+        }
+        assert reports["2pl"].rate <= reports["sgt"].rate
+        assert reports["sgt"].rate <= reports["mvcg"].rate
+        assert reports["mvcg-eager"].rate <= reports["mvcg"].rate
+        assert reports["mvto"].rate <= reports["mvcg"].rate
+        # Multiversion beats single-version locking at this contention.
+        assert reports["mvcg-eager"].rate > reports["2pl"].rate
+
+    def test_report_rows(self):
+        schedules = list(schedule_stream(10, 2, ["x"], 2, seed=1))
+        (report,) = acceptance_rates(schedules, [lambda s: SGTScheduler()])
+        row = report.row()
+        assert row["total"] == 10
+        assert 0.0 <= row["rate"] <= 1.0
+        assert 0.0 <= row["mean_prefix"] <= 1.0
+
+    def test_class_ceilings(self):
+        schedules = list(schedule_stream(40, 3, ["x", "y"], 2, seed=2))
+        ceilings = class_rates(schedules)
+        assert ceilings["csr"] <= ceilings["mvcsr"] <= ceilings["mvsr"]
+        # SGT attains exactly the CSR ceiling; clairvoyant MVCG attains
+        # exactly the MVCSR ceiling.
+        reports = {
+            r.name: r
+            for r in acceptance_rates(
+                schedules,
+                [lambda s: SGTScheduler(), lambda s: MVCGScheduler()],
+            )
+        }
+        assert abs(reports["sgt"].rate - ceilings["csr"]) < 1e-9
+        assert abs(reports["mvcg"].rate - ceilings["mvcsr"]) < 1e-9

@@ -1,0 +1,18 @@
+"""The complexity-scaling harness (E11)."""
+
+from repro.analysis.complexity import scaling_measurements
+
+
+class TestScaling:
+    def test_rows_and_columns(self):
+        rows = scaling_measurements([2, 3], samples_per_size=2, seed=0)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["csr_ms"] >= 0
+            assert row["mvcsr_ms"] >= 0
+            assert "vsr_ms" in row and "mvsr_ms" in row
+
+    def test_exact_deciders_skipped_above_limit(self):
+        rows = scaling_measurements([12], samples_per_size=1, seed=1)
+        assert "vsr_ms" not in rows[0]
+        assert rows[0]["mvcsr_ms"] >= 0

@@ -1,0 +1,58 @@
+"""The OLS-cover analysis (§5 quantified)."""
+
+from repro.analysis.figure1 import SECTION4_PAIR
+from repro.analysis.ols_cover import (
+    cover_report,
+    greedy_scheduler_cover,
+    ols_conflict_graph,
+)
+from repro.model.parsing import parse_schedule
+from repro.ols.decision import is_ols
+from repro.workloads.streams import schedule_stream
+
+
+class TestConflictGraph:
+    def test_section4_pair_conflicts(self):
+        s, s_prime = SECTION4_PAIR
+        members, edges = ols_conflict_graph([s, s_prime])
+        assert members == [0, 1]
+        assert edges == [(0, 1)]
+
+    def test_non_mvsr_excluded(self):
+        bad = parse_schedule("RA(x) RB(x) WA(x) WB(x)")
+        ok = parse_schedule("R1(x) W1(x)")
+        members, edges = ols_conflict_graph([bad, ok])
+        assert members == [1]
+        assert edges == []
+
+    def test_compatible_pair_no_edge(self):
+        a = parse_schedule("R1(x) W1(x) R2(x)")
+        b = parse_schedule("R1(x) W1(x) W2(y)")
+        members, edges = ols_conflict_graph([a, b])
+        assert members == [0, 1] and edges == []
+
+
+class TestGreedyCover:
+    def test_section4_pair_needs_two_schedulers(self):
+        groups = greedy_scheduler_cover(list(SECTION4_PAIR))
+        assert len(groups) == 2
+
+    def test_groups_are_jointly_ols(self):
+        schedules = list(
+            schedule_stream(15, 2, ["x", "y"], 3, seed=3)
+        )
+        groups = greedy_scheduler_cover(schedules)
+        for group in groups:
+            assert is_ols([schedules[i] for i in group])
+
+    def test_cover_report_fields(self):
+        report = cover_report(list(SECTION4_PAIR))
+        assert report["schedules"] == 2
+        assert report["mvsr_members"] == 2
+        assert report["conflicting_pairs"] == 1
+        assert report["schedulers_needed"] == 2
+        assert report["largest_group"] == 1
+
+    def test_single_schedule_one_group(self):
+        report = cover_report([parse_schedule("R1(x) W1(x)")])
+        assert report["schedulers_needed"] == 1

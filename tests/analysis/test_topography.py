@@ -1,0 +1,48 @@
+"""The empirical topography census (E9)."""
+
+from repro.analysis.topography import (
+    census,
+    cumulative_class_sizes,
+    region_counts_table,
+)
+from repro.classes.hierarchy import REGIONS
+
+
+class TestCensus:
+    def test_counts_sum_to_samples(self):
+        counts = census(50, 3, ["x", "y"], 2, seed=0)
+        assert sum(counts.values()) == 50
+
+    def test_all_regions_keyed(self):
+        counts = census(10, 2, ["x"], 2, seed=1)
+        assert set(counts) >= set(REGIONS)
+
+    def test_reproducible(self):
+        a = census(30, 3, ["x", "y"], 2, seed=5)
+        b = census(30, 3, ["x", "y"], 2, seed=5)
+        assert a == b
+
+    def test_cumulative_ordering(self):
+        """serial <= csr <= vsr,mvcsr <= mvsr <= all on any sample."""
+        counts = census(80, 3, ["x", "y"], 2, seed=2)
+        sizes = cumulative_class_sizes(counts)
+        assert sizes["serial"] <= sizes["csr"]
+        assert sizes["csr"] <= sizes["vsr"] <= sizes["mvsr"]
+        assert sizes["csr"] <= sizes["mvcsr"] <= sizes["mvsr"]
+        assert sizes["mvsr"] <= sizes["all"]
+
+    def test_multiversion_classes_dominate(self):
+        """The paper's headline: MVCSR (and MVSR) strictly exceed CSR on
+        contended workloads."""
+        counts = census(150, 3, ["x", "y"], 2, seed=3)
+        sizes = cumulative_class_sizes(counts)
+        assert sizes["mvcsr"] > sizes["csr"]
+        assert sizes["mvsr"] > sizes["vsr"]
+
+
+class TestTable:
+    def test_rows_per_sweep_point(self):
+        rows = region_counts_table([(2, 2), (3, 2)], n_samples=30, seed=0)
+        assert len(rows) == 2
+        for row in rows:
+            assert sum(row[r] for r in REGIONS) == 30

@@ -1,0 +1,82 @@
+"""DMVSR: augmented readless writes, inclusion in MVCSR."""
+
+import random
+
+from repro.classes.dmvsr import dmvsr_augmented, is_dmvsr
+from repro.classes.hierarchy import writes_entities_once
+from repro.classes.mvcsr import is_mvcsr
+from repro.classes.mvsr import is_mvsr
+from repro.model.enumeration import random_schedule
+from repro.model.parsing import parse_schedule
+
+from tests.helpers import SEC4_S, SEC4_S_PRIME
+
+
+class TestAugmentation:
+    def test_blind_write_gets_read(self):
+        s = parse_schedule("W1(x) R2(x)")
+        aug = dmvsr_augmented(s)
+        assert str(aug) == "R1(x) W1(x) R2(x)"
+
+    def test_covered_write_unchanged(self):
+        s = parse_schedule("R1(x) W1(x)")
+        assert dmvsr_augmented(s) == s
+
+    def test_double_blind_write_single_read(self):
+        s = parse_schedule("W1(x) W1(x)")
+        aug = dmvsr_augmented(s)
+        assert str(aug) == "R1(x) W1(x) W1(x)"
+
+    def test_insertion_position_is_immediately_before(self):
+        s = parse_schedule("R2(y) W1(x) R2(x)")
+        aug = dmvsr_augmented(s)
+        assert str(aug) == "R2(y) R1(x) W1(x) R2(x)"
+
+
+class TestIsDMVSR:
+    def test_serial(self):
+        assert is_dmvsr(parse_schedule("R1(x) W1(x) R2(x) W2(x)"))
+
+    def test_section4_schedules_are_dmvsr(self):
+        # The paper's §4 pair lies in DMVSR (hence in MVCSR).
+        assert is_dmvsr(SEC4_S)
+        assert is_dmvsr(SEC4_S_PRIME)
+
+    def test_dmvsr_subset_of_mvcsr(self):
+        """[PK84]: DMVSR ⊆ MRW = MVCSR, in the single-write model.
+
+        With a transaction writing an entity twice the inclusion can fail
+        at transaction granularity (see hierarchy.check_paper_inclusions),
+        so the exhibit restricts to single-write schedules.
+        """
+        rng = random.Random(0)
+        checked = 0
+        for _ in range(200):
+            s = random_schedule(
+                rng.randint(2, 3), ["x", "y"], rng.randint(1, 3), rng
+            )
+            if not writes_entities_once(s):
+                continue
+            if is_dmvsr(s):
+                assert is_mvcsr(s), str(s)
+                checked += 1
+        assert checked > 20
+
+    def test_dmvsr_subset_of_mvsr(self):
+        rng = random.Random(1)
+        for _ in range(100):
+            s = random_schedule(2, ["x", "y"], 3, rng)
+            if is_dmvsr(s):
+                assert is_mvsr(s), str(s)
+
+    def test_augmentation_can_lose_schedules(self):
+        """DMVSR is strictly smaller than MVCSR on some schedules."""
+        rng = random.Random(2)
+        witnesses = 0
+        for _ in range(300):
+            s = random_schedule(
+                rng.randint(2, 3), ["x", "y"], rng.randint(1, 3), rng
+            )
+            if is_mvcsr(s) and not is_dmvsr(s):
+                witnesses += 1
+        assert witnesses > 0

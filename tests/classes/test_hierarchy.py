@@ -1,0 +1,75 @@
+"""Figure 1 regions, membership profiles, and the paper's inclusions."""
+
+import random
+
+from repro.classes.hierarchy import REGIONS, classify, membership_profile
+from repro.model.enumeration import random_schedule
+from repro.model.parsing import parse_schedule
+
+from tests.helpers import ALL_FIGURE1
+
+
+EXPECTED_REGION = {
+    "s1": "not-mvsr",
+    "s2": "mvsr-only",
+    "s3": "vsr-not-mvcsr",
+    "s4": "mvcsr-not-vsr",
+    "s5": "vsr-and-mvcsr",
+    "s6": "serial",
+}
+
+
+class TestFigure1Examples:
+    def test_every_region_has_its_witness(self):
+        for name, schedule in ALL_FIGURE1.items():
+            assert classify(schedule) == EXPECTED_REGION[name], name
+
+    def test_all_regions_covered(self):
+        # Figure 1 shows six regions besides plain CSR; a CSR-not-serial
+        # witness completes the set.
+        measured = {classify(s) for s in ALL_FIGURE1.values()}
+        measured.add(classify(parse_schedule("R1(x) W1(x) R2(x) R1(y)")))
+        assert measured == set(REGIONS)
+
+
+class TestProfiles:
+    def test_profile_consistency_random(self):
+        """No sampled schedule may violate the paper's inclusions."""
+        rng = random.Random(0)
+        for _ in range(60):
+            s = random_schedule(
+                rng.randint(2, 3), ["x", "y"], rng.randint(1, 3), rng
+            )
+            profile = membership_profile(s)
+            assert profile.check_paper_inclusions() == [], str(s)
+
+    def test_profile_dict_keys(self):
+        profile = membership_profile(parse_schedule("R1(x)"))
+        assert set(profile.as_dict()) == {
+            "serial", "csr", "vsr", "fsr", "mvsr", "mvcsr", "dmvsr",
+        }
+
+    def test_serial_schedule_in_everything(self):
+        profile = membership_profile(parse_schedule("R1(x) W1(x) R2(x)"))
+        assert all(profile.as_dict().values())
+
+    def test_classify_matches_profile(self):
+        rng = random.Random(1)
+        for _ in range(40):
+            s = random_schedule(2, ["x", "y"], 3, rng)
+            region = classify(s)
+            p = membership_profile(s)
+            if region == "serial":
+                assert p.serial
+            elif region == "csr":
+                assert p.csr and not p.serial
+            elif region == "vsr-and-mvcsr":
+                assert p.vsr and p.mvcsr and not p.csr
+            elif region == "vsr-not-mvcsr":
+                assert p.vsr and not p.mvcsr
+            elif region == "mvcsr-not-vsr":
+                assert p.mvcsr and not p.vsr
+            elif region == "mvsr-only":
+                assert p.mvsr and not p.vsr and not p.mvcsr
+            else:
+                assert not p.mvsr

@@ -1,0 +1,120 @@
+"""MVCSR: Theorems 1, 2 and 3."""
+
+import random
+
+from repro.classes.mvcsr import (
+    is_mvcsr,
+    is_mvcsr_by_swaps,
+    mv_conflict_equivalent,
+    mvcsr_serialization,
+    mvcsr_version_function,
+    neighbours_by_swap,
+)
+from repro.classes.mvsr import is_mvsr
+from repro.classes.serial import serial_schedule_for
+from repro.model.enumeration import random_schedule
+from repro.model.parsing import parse_schedule
+from repro.model.readfrom import view_equivalent
+
+from tests.helpers import (
+    S2_MVSR_ONLY,
+    S3_VSR_NOT_MVCSR,
+    S4_MVCSR_NOT_VSR,
+    S5_VSR_AND_MVCSR,
+)
+
+
+class TestTheorem1:
+    """MVCSR iff MVCG acyclic — checked against the swap decider below."""
+
+    def test_serial(self):
+        assert is_mvcsr(parse_schedule("R1(x) W1(x) R2(x)"))
+
+    def test_figure1_claims(self):
+        assert not is_mvcsr(S2_MVSR_ONLY)
+        assert not is_mvcsr(S3_VSR_NOT_MVCSR)
+        assert is_mvcsr(S4_MVCSR_NOT_VSR)
+        assert is_mvcsr(S5_VSR_AND_MVCSR)
+
+    def test_serialization_respects_mvcg(self):
+        order = mvcsr_serialization(S4_MVCSR_NOT_VSR)
+        assert order is not None
+        # MVCG of s4 has B -> A only.
+        assert order.index("B") < order.index("A")
+
+
+class TestTheorem2:
+    """Swap-reachability of a serial schedule characterizes MVCSR."""
+
+    def test_neighbours_exclude_conflicts_and_same_txn(self):
+        s = parse_schedule("R1(x) W2(x) W1(y) W1(z)")
+        for n in neighbours_by_swap(s):
+            assert len(n) == len(s)
+        # R1(x) W2(x) is a multiversion conflict: not swappable.
+        assert all(str(n) != "W2(x) R1(x) W1(y) W1(z)" for n in neighbours_by_swap(s))
+        # W1(y) W1(z) same transaction: not swappable.
+        assert all("W1(z) W1(y)" not in str(n) for n in neighbours_by_swap(s))
+
+    def test_wr_and_ww_pairs_swappable(self):
+        s = parse_schedule("W1(x) R2(x)")
+        assert len(neighbours_by_swap(s)) == 1
+        s = parse_schedule("W1(x) W2(x)")
+        assert len(neighbours_by_swap(s)) == 1
+
+    def test_agrees_with_theorem1_exhaustively(self):
+        rng = random.Random(0)
+        for _ in range(120):
+            s = random_schedule(
+                rng.randint(2, 3), ["x", "y"], rng.randint(1, 3), rng
+            )
+            assert is_mvcsr(s) == is_mvcsr_by_swaps(s), str(s)
+
+    def test_mv_conflict_equivalence_to_witness(self):
+        order = mvcsr_serialization(S4_MVCSR_NOT_VSR)
+        serial = serial_schedule_for(S4_MVCSR_NOT_VSR, order)
+        assert mv_conflict_equivalent(S4_MVCSR_NOT_VSR, serial)
+
+    def test_mv_conflict_equivalence_asymmetry(self):
+        # W1(x) R2(x) can become R2(x) W1(x) (the pair does not conflict
+        # in the first schedule) but not back (it does in the second).
+        s = parse_schedule("W1(x) R2(x)")
+        r = parse_schedule("R2(x) W1(x)")
+        assert mv_conflict_equivalent(s, r)
+        assert not mv_conflict_equivalent(r, s)
+
+
+class TestTheorem3:
+    """MVCSR implies MVSR, constructively."""
+
+    def test_inclusion_random(self):
+        rng = random.Random(1)
+        for _ in range(150):
+            s = random_schedule(
+                rng.randint(2, 4), ["x", "y"], rng.randint(1, 3), rng
+            )
+            if is_mvcsr(s):
+                assert is_mvsr(s), str(s)
+
+    def test_inclusion_strict(self):
+        # s3 is MVSR (it is VSR) but not MVCSR.
+        assert is_mvsr(S3_VSR_NOT_MVCSR)
+        assert not is_mvcsr(S3_VSR_NOT_MVCSR)
+
+    def test_constructed_version_function_serializes(self):
+        rng = random.Random(2)
+        checked = 0
+        for _ in range(100):
+            s = random_schedule(3, ["x", "y"], 2, rng)
+            vf = mvcsr_version_function(s)
+            if vf is None:
+                continue
+            vf.validate(s)
+            order = mvcsr_serialization(s)
+            r = serial_schedule_for(s, order)
+            # (s, V) is view-equivalent to (r, V_r): Theorem 3's proof.
+            assert view_equivalent(s, r, vf, None), str(s)
+            checked += 1
+        assert checked > 30
+
+    def test_version_function_none_for_non_mvcsr(self):
+        assert mvcsr_version_function(S2_MVSR_ONLY) is None

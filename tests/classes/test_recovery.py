@@ -1,0 +1,75 @@
+"""Recovery classes RC / ACA / ST."""
+
+import random
+
+from repro.classes.recovery import (
+    avoids_cascading_aborts,
+    is_recoverable,
+    is_strict,
+    recovery_profile,
+)
+from repro.classes.vsr import is_vsr
+from repro.model.enumeration import random_schedule
+from repro.model.parsing import parse_schedule
+
+
+class TestDefinitions:
+    def test_serial_is_strict(self):
+        s = parse_schedule("R1(x) W1(x) R2(x) W2(x)")
+        assert recovery_profile(s) == {
+            "recoverable": True,
+            "aca": True,
+            "strict": True,
+        }
+
+    def test_dirty_read_breaks_aca_not_rc(self):
+        # T2 reads T1's uncommitted write but commits after T1: RC holds,
+        # ACA does not.
+        s = parse_schedule("W1(x) R2(x) W1(y) R2(y)")
+        assert is_recoverable(s)
+        assert not avoids_cascading_aborts(s)
+
+    def test_unrecoverable(self):
+        # T2 reads from T1 and commits before T1 does.
+        s = parse_schedule("W1(x) R2(x) W1(y)")
+        assert not is_recoverable(s)
+
+    def test_dirty_overwrite_breaks_strictness_only(self):
+        # T2 overwrites T1's uncommitted write but reads nothing dirty.
+        s = parse_schedule("W1(x) W2(x) W1(y)")
+        assert avoids_cascading_aborts(s)
+        assert not is_strict(s)
+
+    def test_initial_reads_are_clean(self):
+        s = parse_schedule("R1(x) R2(x)")
+        assert is_strict(s)
+
+
+class TestHierarchy:
+    def test_st_implies_aca_implies_rc(self):
+        rng = random.Random(0)
+        for _ in range(300):
+            s = random_schedule(
+                rng.randint(2, 3), ["x", "y"], rng.randint(1, 3), rng
+            )
+            profile = recovery_profile(s)
+            if profile["strict"]:
+                assert profile["aca"], str(s)
+            if profile["aca"]:
+                assert profile["recoverable"], str(s)
+
+    def test_orthogonal_to_serializability(self):
+        """Witnesses in both off-diagonal cells: serializable but not
+        recoverable, and strict but not serializable."""
+        unrecoverable_but_vsr = parse_schedule("W1(x) R2(x) W1(y)")
+        assert is_vsr(unrecoverable_but_vsr)
+        assert not is_recoverable(unrecoverable_but_vsr)
+
+        rng = random.Random(1)
+        found = False
+        for _ in range(500):
+            s = random_schedule(2, ["x", "y"], 3, rng)
+            if is_strict(s) and not is_vsr(s):
+                found = True
+                break
+        assert found

@@ -1,0 +1,57 @@
+"""SAT encodings of MVSR and pair-OLS versus the search deciders."""
+
+import random
+
+from repro.classes.mvsr import is_mvsr
+from repro.classes.sat_encodings import (
+    is_mvsr_sat,
+    is_ols_pair_sat,
+    mvsr_cnf,
+    ols_pair_cnf,
+)
+from repro.model.enumeration import random_interleaving, random_schedule
+from repro.model.parsing import parse_schedule
+from repro.ols.decision import is_ols
+
+from tests.helpers import SEC4_S, SEC4_S_PRIME, S1_NOT_MVSR, S2_MVSR_ONLY
+
+
+class TestMVSREncoding:
+    def test_figure1_cases(self):
+        assert not is_mvsr_sat(S1_NOT_MVSR)
+        assert is_mvsr_sat(S2_MVSR_ONLY)
+
+    def test_agrees_with_search_random(self):
+        rng = random.Random(0)
+        for _ in range(150):
+            s = random_schedule(
+                rng.randint(2, 4), ["x", "y"], rng.randint(1, 3), rng
+            )
+            assert is_mvsr(s) == is_mvsr_sat(s), str(s)
+
+    def test_cnf_is_nonempty_for_real_schedules(self):
+        f = mvsr_cnf(parse_schedule("W1(x) R2(x) W2(x)"))
+        assert len(f) > 0
+
+
+class TestOLSPairEncoding:
+    def test_section4_pair_not_ols(self):
+        assert not is_ols_pair_sat(SEC4_S, SEC4_S_PRIME)
+
+    def test_identical_schedules_ols_iff_mvsr(self):
+        assert is_ols_pair_sat(SEC4_S, SEC4_S)
+        assert not is_ols_pair_sat(S1_NOT_MVSR, S1_NOT_MVSR)
+
+    def test_agrees_with_search_random(self):
+        rng = random.Random(1)
+        for _ in range(80):
+            a = random_schedule(2, ["x", "y"], 3, rng)
+            b = random_interleaving(a.transaction_system(), rng)
+            assert is_ols_pair_sat(a, b) == is_ols([a, b]), f"{a} || {b}"
+
+    def test_shared_prefix_variables(self):
+        f = ols_pair_cnf(SEC4_S, SEC4_S_PRIME)
+        names = {v for v in f.variables if isinstance(v, tuple)}
+        assert any(v[:2] == ("src", "lcp") for v in names)
+        assert any(v[:2] == ("src", "s1") for v in names)
+        assert any(v[:2] == ("src", "s2") for v in names)

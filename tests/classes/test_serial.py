@@ -1,0 +1,46 @@
+"""Serial schedules."""
+
+from repro.classes.serial import (
+    is_serial,
+    serial_order,
+    serial_schedule_for,
+    serializations,
+)
+from repro.model.parsing import parse_schedule
+
+
+class TestIsSerial:
+    def test_serial(self):
+        assert is_serial(parse_schedule("R1(x) W1(x) R2(x) W2(y)"))
+
+    def test_interleaved(self):
+        assert not is_serial(parse_schedule("R1(x) R2(x) W1(x)"))
+
+    def test_single_transaction(self):
+        assert is_serial(parse_schedule("R1(x) W1(x) R1(y)"))
+
+    def test_empty(self):
+        assert is_serial(parse_schedule(""))
+
+    def test_resumed_transaction_not_serial(self):
+        assert not is_serial(parse_schedule("R1(x) R2(x) R1(y)"))
+
+    def test_padding_ignored(self):
+        s = parse_schedule("R1(x) W1(x) R2(x)").padded()
+        assert is_serial(s)
+
+
+class TestHelpers:
+    def test_serial_order(self):
+        assert serial_order(parse_schedule("R2(x) W2(x) R1(x)")) == [2, 1]
+        assert serial_order(parse_schedule("R2(x) R1(x) W2(x)")) is None
+
+    def test_serializations_count(self):
+        s = parse_schedule("R1(x) R2(x) R3(x)")
+        assert len(list(serializations(s))) == 6
+
+    def test_serial_schedule_for(self):
+        s = parse_schedule("R1(x) R2(y) W1(x)")
+        r = serial_schedule_for(s, [2, 1])
+        assert str(r) == "R2(y) R1(x) W1(x)"
+        assert is_serial(r)

@@ -1,0 +1,80 @@
+"""Conflict graphs: single-version and multiversion (MVCG)."""
+
+from repro.graphs.conflict_graph import (
+    build_conflict_graph,
+    build_mv_conflict_graph,
+    mv_conflict_pairs,
+)
+from repro.model.parsing import parse_schedule
+
+
+class TestConflictGraph:
+    def test_rw_arc(self):
+        g = build_conflict_graph(parse_schedule("R1(x) W2(x)"))
+        assert g.has_arc(1, 2) and not g.has_arc(2, 1)
+
+    def test_wr_arc(self):
+        g = build_conflict_graph(parse_schedule("W1(x) R2(x)"))
+        assert g.has_arc(1, 2)
+
+    def test_ww_arc(self):
+        g = build_conflict_graph(parse_schedule("W1(x) W2(x)"))
+        assert g.has_arc(1, 2)
+
+    def test_rr_no_arc(self):
+        g = build_conflict_graph(parse_schedule("R1(x) R2(x)"))
+        assert g.n_arcs() == 0
+
+    def test_classic_cycle(self):
+        s = parse_schedule("R1(x) R2(y) W1(y) W2(x)")
+        g = build_conflict_graph(s)
+        assert g.has_arc(1, 2) and g.has_arc(2, 1)
+        assert g.has_cycle()
+
+    def test_padding_excluded(self):
+        s = parse_schedule("R1(x) W2(x)").padded()
+        g = build_conflict_graph(s)
+        assert set(g.nodes) == {1, 2}
+
+    def test_all_transactions_are_nodes(self):
+        s = parse_schedule("R1(x) R2(y)")
+        g = build_conflict_graph(s)
+        assert set(g.nodes) == {1, 2}
+
+
+class TestMVCG:
+    def test_read_then_write_arc(self):
+        g = build_mv_conflict_graph(parse_schedule("R1(x) W2(x)"))
+        assert g.has_arc(1, 2)
+
+    def test_write_then_read_no_arc(self):
+        g = build_mv_conflict_graph(parse_schedule("W1(x) R2(x)"))
+        assert g.n_arcs() == 0
+
+    def test_write_write_no_arc(self):
+        g = build_mv_conflict_graph(parse_schedule("W1(x) W2(x)"))
+        assert g.n_arcs() == 0
+
+    def test_own_steps_no_arc(self):
+        g = build_mv_conflict_graph(parse_schedule("R1(x) W1(x)"))
+        assert g.n_arcs() == 0
+
+    def test_mvcg_subset_of_conflict_graph(self):
+        s = parse_schedule(
+            "R1(x) W2(x) R2(y) W1(y) W3(x) R3(z) W1(z) R2(x)"
+        )
+        full = build_conflict_graph(s)
+        mv = build_mv_conflict_graph(s)
+        for u, v in mv.arcs:
+            assert full.has_arc(u, v)
+
+    def test_mv_conflict_pairs_positions(self):
+        s = parse_schedule("R1(x) R2(x) W3(x)")
+        assert mv_conflict_pairs(s) == [(0, 2), (1, 2)]
+
+    def test_figure1_s2_mvcg_cycle(self):
+        # B reads x before C writes it and C reads y before B writes it.
+        s = parse_schedule("WA(x) RB(x) RC(y) WC(x) WB(y)")
+        g = build_mv_conflict_graph(s)
+        assert g.has_arc("B", "C") and g.has_arc("C", "B")
+        assert g.has_cycle()

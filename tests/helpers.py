@@ -1,0 +1,47 @@
+"""Shared fixtures: canonical schedules from the paper and small systems."""
+
+from __future__ import annotations
+
+from repro.model.parsing import parse_schedule
+from repro.model.schedules import Schedule
+
+# Figure 1 witnesses (see repro.analysis.figure1 for provenance notes).
+S1_NOT_MVSR = parse_schedule("RA(x) RB(x) WA(x) WB(x)")
+S2_MVSR_ONLY = parse_schedule("WA(x) RB(x) RC(y) WC(x) WB(y)")
+S3_VSR_NOT_MVCSR = parse_schedule("WA(x) RB(x) RC(y) WC(x) WD(x) WB(y)")
+S4_MVCSR_NOT_VSR = parse_schedule("RA(x) WA(x) RB(x) RB(y) WB(y) RA(y) WA(y)")
+S5_VSR_AND_MVCSR = parse_schedule("RA(x) WA(x) RB(x) WB(y) WA(y) WC(y)")
+S6_SERIAL = parse_schedule("RA(x) WA(x) RB(x) WB(y)")
+
+# §4's non-OLS pair: unique serializations AB and BA respectively.
+SEC4_S = parse_schedule("RA(x) WA(x) RB(x) RA(y) WA(y) RB(y) WB(y)")
+SEC4_S_PRIME = parse_schedule("RA(x) WA(x) RB(x) RB(y) WB(y) RA(y) WA(y)")
+
+ALL_FIGURE1 = {
+    "s1": S1_NOT_MVSR,
+    "s2": S2_MVSR_ONLY,
+    "s3": S3_VSR_NOT_MVCSR,
+    "s4": S4_MVCSR_NOT_VSR,
+    "s5": S5_VSR_AND_MVCSR,
+    "s6": S6_SERIAL,
+}
+
+
+def tiny_schedules(max_txns: int = 2, max_steps: int = 3) -> list[Schedule]:
+    """A deterministic, moderately sized pool of small schedules."""
+    import random
+
+    from repro.model.enumeration import random_schedule
+
+    rng = random.Random(12345)
+    pool = []
+    for _ in range(60):
+        pool.append(
+            random_schedule(
+                rng.randint(2, max_txns + 1),
+                ["x", "y"],
+                rng.randint(1, max_steps),
+                rng,
+            )
+        )
+    return pool

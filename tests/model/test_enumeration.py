@@ -1,0 +1,100 @@
+"""Exhaustive and random schedule generation."""
+
+import random
+from math import comb
+
+from repro.model.enumeration import (
+    all_systems,
+    all_transactions,
+    count_interleavings,
+    interleavings,
+    random_interleaving,
+    random_schedule,
+    random_system,
+    random_transaction,
+)
+from repro.model.transactions import Transaction, TransactionSystem
+
+
+def _sys(*bodies):
+    return TransactionSystem.of(
+        Transaction.build(i + 1, *body) for i, body in enumerate(bodies)
+    )
+
+
+class TestInterleavings:
+    def test_count_matches_multinomial(self):
+        system = _sys([("R", "x"), ("W", "x")], [("R", "y")])
+        schedules = list(interleavings(system))
+        assert len(schedules) == comb(3, 2)
+        assert count_interleavings(system) == len(schedules)
+
+    def test_all_distinct(self):
+        system = _sys([("R", "x"), ("W", "x")], [("R", "x"), ("W", "x")])
+        schedules = [s.steps for s in interleavings(system)]
+        assert len(schedules) == len(set(schedules)) == comb(4, 2)
+
+    def test_each_is_a_shuffle(self):
+        system = _sys([("R", "x"), ("W", "x")], [("W", "y")])
+        for s in interleavings(system):
+            assert s.is_shuffle_of(system)
+
+    def test_empty_system(self):
+        assert list(interleavings(TransactionSystem.of([]))) == [
+            s for s in interleavings(TransactionSystem.of([]))
+        ]
+        assert count_interleavings(TransactionSystem.of([])) == 1
+
+
+class TestRandomGeneration:
+    def test_random_interleaving_is_shuffle(self):
+        rng = random.Random(0)
+        system = _sys(
+            [("R", "x"), ("W", "x")], [("R", "y"), ("W", "y")], [("W", "z")]
+        )
+        for _ in range(20):
+            assert random_interleaving(system, rng).is_shuffle_of(system)
+
+    def test_random_interleaving_reproducible(self):
+        system = _sys([("R", "x"), ("W", "x")], [("R", "y")])
+        a = random_interleaving(system, random.Random(7))
+        b = random_interleaving(system, random.Random(7))
+        assert a == b
+
+    def test_random_transaction_shape(self):
+        rng = random.Random(1)
+        t = random_transaction(1, ["x", "y"], 5, rng)
+        assert len(t) == 5
+        assert all(s.entity in ("x", "y") for s in t)
+
+    def test_read_fraction_extremes(self):
+        rng = random.Random(2)
+        all_reads = random_transaction(1, ["x"], 10, rng, read_fraction=1.0)
+        assert all(s.is_read for s in all_reads)
+        all_writes = random_transaction(1, ["x"], 10, rng, read_fraction=0.0)
+        assert all(s.is_write for s in all_writes)
+
+    def test_zipf_skew_prefers_hot_entities(self):
+        rng = random.Random(3)
+        entities = [f"e{k}" for k in range(10)]
+        t = random_transaction(1, entities, 400, rng, zipf_skew=2.0)
+        hot = sum(1 for s in t if s.entity == "e0")
+        cold = sum(1 for s in t if s.entity == "e9")
+        assert hot > cold
+
+    def test_random_system_and_schedule(self):
+        rng = random.Random(4)
+        system = random_system(3, ["x", "y"], 2, rng)
+        assert len(system) == 3
+        s = random_schedule(3, ["x", "y"], 2, rng)
+        assert len(s) == 6
+
+
+class TestExhaustiveSpaces:
+    def test_all_transactions_count(self):
+        # 2 ops x 2 entities per step, 2 steps -> 16 transactions.
+        assert len(list(all_transactions(1, ["x", "y"], 2))) == 16
+
+    def test_all_systems_count(self):
+        # each of 2 txns drawn from 4 one-step bodies over one entity
+        assert len(list(all_systems(2, ["x"], 1))) == 4

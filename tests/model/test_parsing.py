@@ -1,0 +1,71 @@
+"""Parsing and formatting of the paper's notation."""
+
+import pytest
+
+from repro.model.parsing import (
+    format_schedule,
+    format_schedule_by_transaction,
+    parse_schedule,
+    parse_transaction,
+)
+from repro.model.steps import read, write
+
+
+class TestParseSchedule:
+    def test_numeric_ids_become_ints(self):
+        s = parse_schedule("R1(x) W2(y)")
+        assert s[0].txn == 1 and s[1].txn == 2
+
+    def test_letter_ids_stay_strings(self):
+        s = parse_schedule("RA(x) WB(y)")
+        assert s[0].txn == "A" and s[1].txn == "B"
+
+    def test_commas_and_semicolons(self):
+        s = parse_schedule("R1(x), W1(x); R2(x)")
+        assert len(s) == 3
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_schedule("R1(x) garbage W2(y)")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_schedule("R1(x) oops")
+
+    def test_empty_schedule(self):
+        assert len(parse_schedule("")) == 0
+
+    def test_primed_entities(self):
+        s = parse_schedule("R1(b') W2(b')")
+        assert s[0].entity == "b'"
+
+    def test_roundtrip(self):
+        text = "RA(x) WA(x) RB(x) WB(y)"
+        assert format_schedule(parse_schedule(text)) == text
+
+
+class TestParseTransaction:
+    def test_without_ids(self):
+        t = parse_transaction("A", "R(x) W(x) W(y)")
+        assert t.steps == (read("A", "x"), write("A", "x"), write("A", "y"))
+
+    def test_with_matching_ids(self):
+        t = parse_transaction(1, "R1(x) W1(x)")
+        assert t.txn == 1 and len(t) == 2
+
+    def test_mismatched_id_rejected(self):
+        with pytest.raises(ValueError):
+            parse_transaction("A", "RB(x)")
+
+
+class TestFigureFormatting:
+    def test_by_transaction_rows(self):
+        s = parse_schedule("RA(x) RB(x) WA(x) WB(x)")
+        rendered = format_schedule_by_transaction(s)
+        lines = rendered.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("A:")
+        assert "RA(x)" in lines[0] and "WA(x)" in lines[0]
+        assert "RB(x)" in lines[1]
+        # Column alignment: B's read appears to the right of A's read.
+        assert lines[1].index("RB(x)") > lines[0].index("RA(x)")

@@ -1,0 +1,84 @@
+"""READ-FROM relations, views, view equivalence, serial sources."""
+
+from repro.model.parsing import parse_schedule
+from repro.model.readfrom import (
+    read_from_map,
+    read_from_relation,
+    serial_read_from_sources,
+    view_equivalent,
+    view_of,
+)
+from repro.model.schedules import T_INIT
+from repro.model.version_functions import VersionFunction
+
+
+class TestReadFromRelation:
+    def test_standard_relation(self):
+        s = parse_schedule("W1(x) R2(x) W2(y) R3(y)")
+        assert read_from_relation(s) == {(1, "x", 2), (2, "y", 3)}
+
+    def test_initial_reads(self):
+        s = parse_schedule("R1(x)")
+        assert read_from_relation(s) == {(T_INIT, "x", 1)}
+
+    def test_custom_version_function(self):
+        s = parse_schedule("W1(x) W2(x) R3(x)")
+        older = VersionFunction({2: 0})
+        assert read_from_relation(s, older) == {(1, "x", 3)}
+        assert read_from_relation(s) == {(2, "x", 3)}
+
+    def test_map_keeps_occurrences(self):
+        s = parse_schedule("W1(x) R2(x) W3(x) R2(x)")
+        assert read_from_map(s) == {1: 1, 3: 3}
+
+
+class TestViews:
+    def test_view_of(self):
+        s = parse_schedule("W1(x) W1(y) R2(x) R2(y)")
+        assert view_of(s, 2) == {("x", 1), ("y", 1)}
+
+    def test_view_of_nonreader_empty(self):
+        s = parse_schedule("W1(x)")
+        assert view_of(s, 1) == frozenset()
+
+    def test_view_equivalence(self):
+        s = parse_schedule("W1(x) R2(x)")
+        r = parse_schedule("W1(x) R2(x)")
+        assert view_equivalent(s, r)
+
+    def test_view_equivalence_with_version_functions(self):
+        # s with the old-version assignment is equivalent to serial 2,1.
+        s = parse_schedule("W1(x) W2(y) R1(y)")
+        serial_21 = parse_schedule("W2(y) W1(x) R1(y)")
+        vf = VersionFunction({2: 1})
+        assert view_equivalent(s, serial_21, vf, None)
+        assert view_equivalent(s, serial_21)  # standard already matches
+
+
+class TestSerialSources:
+    def test_simple_chain(self):
+        s = parse_schedule("W1(x) R2(x)")
+        sources = serial_read_from_sources(s, [1, 2])
+        assert sources == {1: 1}
+        sources = serial_read_from_sources(s, [2, 1])
+        assert sources == {1: T_INIT}
+
+    def test_own_write_then_read(self):
+        s = parse_schedule("W1(x) W2(x) R2(x)")
+        # In any serial order, T2 reads its own write.
+        for order in ([1, 2], [2, 1]):
+            assert serial_read_from_sources(s, order) == {2: 2}
+
+    def test_read_before_own_write(self):
+        s = parse_schedule("R2(x) W2(x) W1(x)")
+        assert serial_read_from_sources(s, [1, 2]) == {0: 1}
+        assert serial_read_from_sources(s, [2, 1]) == {0: T_INIT}
+
+    def test_unknown_transaction_gives_none(self):
+        s = parse_schedule("R1(x)")
+        assert serial_read_from_sources(s, [2]) is None
+
+    def test_last_writer_wins(self):
+        s = parse_schedule("W1(x) W2(x) W3(x) R4(x)")
+        assert serial_read_from_sources(s, [1, 2, 3, 4]) == {3: 3}
+        assert serial_read_from_sources(s, [3, 2, 1, 4]) == {3: 1}

@@ -1,0 +1,50 @@
+"""The restricted model (no readless writes) of [PK84]."""
+
+import random
+
+from repro.classes.dmvsr import is_dmvsr
+from repro.classes.mvsr import is_mvsr
+from repro.model.enumeration import (
+    random_interleaving,
+    random_transaction,
+    restricted_random_system,
+    to_restricted,
+)
+from repro.model.parsing import parse_transaction
+
+
+class TestToRestricted:
+    def test_blind_write_gets_read(self):
+        t = parse_transaction(1, "W(x) R(y)")
+        assert str(to_restricted(t)) == "R1(x) W1(x) R1(y)"
+
+    def test_covered_write_unchanged(self):
+        t = parse_transaction(1, "R(x) W(x)")
+        assert to_restricted(t) == t
+
+    def test_no_readless_writes_remain(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            t = to_restricted(
+                random_transaction(1, ["x", "y", "z"], 4, rng)
+            )
+            assert t.readless_writes() == []
+
+
+class TestRestrictedModelProperties:
+    def test_dmvsr_equals_mvsr_in_restricted_model(self):
+        """With no readless writes the DMVSR augmentation is the
+        identity, so DMVSR and MVSR coincide — the regime where [PK84]
+        show MVSR is polynomial."""
+        rng = random.Random(1)
+        for _ in range(80):
+            system = restricted_random_system(2, ["x", "y"], 2, rng)
+            s = random_interleaving(system, rng)
+            assert is_dmvsr(s) == is_mvsr(s), str(s)
+
+    def test_system_shape(self):
+        rng = random.Random(2)
+        system = restricted_random_system(3, ["x", "y"], 3, rng)
+        assert len(system) == 3
+        for t in system:
+            assert t.readless_writes() == []

@@ -1,0 +1,130 @@
+"""Schedule structure, padding, and query helpers."""
+
+import pytest
+
+from repro.model.parsing import parse_schedule
+from repro.model.schedules import Schedule, T_FINAL, T_INIT
+from repro.model.steps import read, write
+from repro.model.transactions import Transaction
+
+
+class TestConstruction:
+    def test_of_and_len(self):
+        s = Schedule.of([read(1, "x"), write(2, "x")])
+        assert len(s) == 2
+        assert s[0] == read(1, "x")
+
+    def test_serial_constructor(self):
+        a = Transaction.build("A", ("R", "x"), ("W", "x"))
+        b = Transaction.build("B", ("R", "x"))
+        s = Schedule.serial([a, b])
+        assert str(s) == "RA(x) WA(x) RB(x)"
+
+    def test_slicing_returns_schedule(self):
+        s = parse_schedule("R1(x) W1(x) R2(x)")
+        assert isinstance(s[:2], Schedule)
+        assert len(s[:2]) == 2
+
+    def test_concatenation(self):
+        s = parse_schedule("R1(x)") + parse_schedule("W2(x)")
+        assert str(s) == "R1(x) W2(x)"
+
+
+class TestStructure:
+    def test_txn_ids_first_appearance_order(self):
+        s = parse_schedule("R2(x) R1(y) W2(x) W3(z)")
+        assert s.txn_ids == (2, 1, 3)
+
+    def test_projection_preserves_order(self):
+        s = parse_schedule("R1(x) R2(x) W1(y) W2(y) W1(x)")
+        assert str(s.projection(1)) == "R1(x) W1(y) W1(x)"
+
+    def test_transaction_system_roundtrip(self):
+        s = parse_schedule("R1(x) R2(x) W1(y) W2(y)")
+        system = s.transaction_system()
+        assert s.is_shuffle_of(system)
+
+    def test_is_shuffle_of_rejects_other_system(self):
+        s = parse_schedule("R1(x) W1(x)")
+        other = parse_schedule("R1(x) W1(y)").transaction_system()
+        assert not s.is_shuffle_of(other)
+
+    def test_entities(self):
+        s = parse_schedule("R1(x) W2(y)")
+        assert s.entities == {"x", "y"}
+
+
+class TestQueries:
+    def test_writes_of(self):
+        s = parse_schedule("W1(x) R2(x) W3(x) W1(y)")
+        assert s.writes_of("x") == (0, 2)
+        assert s.writes_of("missing") == ()
+
+    def test_last_write_before(self):
+        s = parse_schedule("W1(x) R2(x) W3(x) R2(x)")
+        assert s.last_write_before(1, "x") == 0
+        assert s.last_write_before(3, "x") == 2
+        assert s.last_write_before(0, "x") is None
+
+    def test_writes_before(self):
+        s = parse_schedule("W1(x) W2(x) R3(x)")
+        assert s.writes_before(2, "x") == [0, 1]
+
+    def test_final_writer(self):
+        s = parse_schedule("W1(x) W2(x) R3(y)")
+        assert s.final_writer("x") == 2
+        assert s.final_writer("y") == T_INIT
+
+
+class TestPadding:
+    def test_padded_structure(self):
+        s = parse_schedule("R1(x) W1(y)")
+        p = s.padded()
+        assert p[0].txn == T_INIT and p[0].is_write
+        assert p[-1].txn == T_FINAL and p[-1].is_read
+        # T0 writes all entities, Tf reads all entities.
+        assert {st.entity for st in p if st.txn == T_INIT} == {"x", "y"}
+        assert {st.entity for st in p if st.txn == T_FINAL} == {"x", "y"}
+
+    def test_padded_with_extra_entities(self):
+        s = parse_schedule("R1(x)")
+        p = s.padded(entities=["x", "z"])
+        assert {st.entity for st in p if st.txn == T_INIT} == {"x", "z"}
+
+    def test_double_padding_rejected(self):
+        s = parse_schedule("R1(x)").padded()
+        with pytest.raises(ValueError):
+            s.padded()
+
+    def test_unpadded_roundtrip(self):
+        s = parse_schedule("R1(x) W2(x)")
+        assert s.padded().unpadded() == s
+
+    def test_is_padded(self):
+        s = parse_schedule("R1(x)")
+        assert not s.is_padded()
+        assert s.padded().is_padded()
+
+
+class TestTransformations:
+    def test_prefix(self):
+        s = parse_schedule("R1(x) W1(x) R2(x)")
+        assert str(s.prefix(2)) == "R1(x) W1(x)"
+
+    def test_prefixes_count(self):
+        s = parse_schedule("R1(x) W1(x)")
+        assert len(list(s.prefixes())) == 3
+
+    def test_swap(self):
+        s = parse_schedule("R1(x) W2(y)")
+        assert str(s.swap(0)) == "W2(y) R1(x)"
+
+    def test_swap_out_of_range(self):
+        with pytest.raises(IndexError):
+            parse_schedule("R1(x)").swap(0)
+
+    def test_common_prefix_length(self):
+        a = parse_schedule("R1(x) W1(x) R2(x)")
+        b = parse_schedule("R1(x) W1(x) W2(y)")
+        assert a.common_prefix_length(b) == 2
+        assert a.common_prefix_length(a) == 3

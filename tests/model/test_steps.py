@@ -1,0 +1,79 @@
+"""Steps and the two conflict notions."""
+
+from repro.model.steps import (
+    Op,
+    conflicts_multiversion,
+    conflicts_single_version,
+    read,
+    write,
+)
+
+
+class TestStepBasics:
+    def test_read_constructor(self):
+        step = read(1, "x")
+        assert step.is_read and not step.is_write
+        assert step.op is Op.READ
+        assert step.txn == 1 and step.entity == "x"
+
+    def test_write_constructor(self):
+        step = write("A", "y")
+        assert step.is_write and not step.is_read
+
+    def test_str_matches_paper_notation(self):
+        assert str(read(1, "x")) == "R1(x)"
+        assert str(write("B", "acct")) == "WB(acct)"
+
+    def test_steps_are_hashable_values(self):
+        assert read(1, "x") == read(1, "x")
+        assert read(1, "x") != write(1, "x")
+        assert len({read(1, "x"), read(1, "x"), write(1, "x")}) == 2
+
+
+class TestSingleVersionConflict:
+    def test_write_write_conflicts(self):
+        assert conflicts_single_version(write(1, "x"), write(2, "x"))
+
+    def test_read_write_conflicts_both_orders(self):
+        assert conflicts_single_version(read(1, "x"), write(2, "x"))
+        assert conflicts_single_version(write(1, "x"), read(2, "x"))
+
+    def test_read_read_does_not_conflict(self):
+        assert not conflicts_single_version(read(1, "x"), read(2, "x"))
+
+    def test_different_entities_do_not_conflict(self):
+        assert not conflicts_single_version(write(1, "x"), write(2, "y"))
+
+    def test_same_transaction_never_conflicts(self):
+        assert not conflicts_single_version(write(1, "x"), write(1, "x"))
+
+
+class TestMultiversionConflict:
+    """The asymmetric conflict of §3: only R-before-W conflicts."""
+
+    def test_read_then_write_conflicts(self):
+        assert conflicts_multiversion(read(1, "x"), write(2, "x"))
+
+    def test_write_then_read_does_not_conflict(self):
+        # A late read can be served an older version.
+        assert not conflicts_multiversion(write(1, "x"), read(2, "x"))
+
+    def test_write_write_does_not_conflict(self):
+        # Both versions coexist in the multiversion store.
+        assert not conflicts_multiversion(write(1, "x"), write(2, "x"))
+
+    def test_read_read_does_not_conflict(self):
+        assert not conflicts_multiversion(read(1, "x"), read(2, "x"))
+
+    def test_asymmetry(self):
+        first, second = read(1, "x"), write(2, "x")
+        assert conflicts_multiversion(first, second)
+        assert not conflicts_multiversion(second, first)
+
+    def test_multiversion_conflicts_are_a_subset_of_single_version(self):
+        steps = [read(1, "x"), write(1, "x"), read(2, "x"), write(2, "x"),
+                 read(2, "y"), write(3, "y")]
+        for a in steps:
+            for b in steps:
+                if conflicts_multiversion(a, b):
+                    assert conflicts_single_version(a, b)

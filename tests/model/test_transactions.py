@@ -1,0 +1,75 @@
+"""Transactions and transaction systems."""
+
+import pytest
+
+from repro.model.steps import read, write
+from repro.model.transactions import Transaction, TransactionSystem
+
+
+class TestTransaction:
+    def test_build_from_pairs(self):
+        t = Transaction.build("A", ("R", "x"), ("W", "x"), ("W", "y"))
+        assert len(t) == 3
+        assert [s.is_read for s in t] == [True, False, False]
+
+    def test_build_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Transaction.build("A", ("Q", "x"))
+
+    def test_steps_must_belong_to_transaction(self):
+        with pytest.raises(ValueError):
+            Transaction("A", (read("B", "x"),))
+
+    def test_read_and_write_sets(self):
+        t = Transaction.build("A", ("R", "x"), ("W", "y"), ("W", "x"))
+        assert t.read_set == {"x"}
+        assert t.write_set == {"x", "y"}
+        assert t.entities == {"x", "y"}
+
+    def test_readless_writes_blind_write(self):
+        t = Transaction.build("A", ("W", "x"), ("R", "y"), ("W", "y"))
+        assert t.readless_writes() == [0]
+
+    def test_readless_writes_covered_write(self):
+        t = Transaction.build("A", ("R", "x"), ("W", "x"))
+        assert t.readless_writes() == []
+
+    def test_readless_writes_double_blind(self):
+        t = Transaction.build("A", ("W", "x"), ("W", "x"))
+        # Both writes of x are blind: the transaction never reads x.
+        assert t.readless_writes() == [0, 1]
+
+
+class TestTransactionSystem:
+    def test_lookup_and_iteration(self):
+        a = Transaction.build("A", ("R", "x"))
+        b = Transaction.build("B", ("W", "x"))
+        system = TransactionSystem.of([a, b])
+        assert system["A"] == a
+        assert "B" in system
+        assert list(system) == [a, b]
+        assert system.txn_ids == ("A", "B")
+
+    def test_duplicate_ids_rejected(self):
+        a1 = Transaction.build("A", ("R", "x"))
+        a2 = Transaction.build("A", ("W", "x"))
+        with pytest.raises(ValueError):
+            TransactionSystem.of([a1, a2])
+
+    def test_entities_union(self):
+        system = TransactionSystem.of(
+            [
+                Transaction.build("A", ("R", "x")),
+                Transaction.build("B", ("W", "y"), ("R", "z")),
+            ]
+        )
+        assert system.entities == {"x", "y", "z"}
+
+    def test_total_steps(self):
+        system = TransactionSystem.of(
+            [
+                Transaction.build("A", ("R", "x"), ("W", "x")),
+                Transaction.build("B", ("W", "y")),
+            ]
+        )
+        assert system.total_steps() == 3

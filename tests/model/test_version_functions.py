@@ -1,0 +1,84 @@
+"""Version functions: legality, standard function, extension."""
+
+import pytest
+
+from repro.model.parsing import parse_schedule
+from repro.model.schedules import T_INIT
+from repro.model.version_functions import VersionFunction
+
+
+S = parse_schedule("W1(x) R2(x) W3(x) R2(x) R4(y)")
+
+
+class TestStandard:
+    def test_assigns_last_prior_write(self):
+        vf = VersionFunction.standard(S)
+        assert vf[1] == 0  # first R2(x) reads W1(x)
+        assert vf[3] == 2  # second R2(x) reads W3(x)
+
+    def test_reads_with_no_writer_read_initial(self):
+        vf = VersionFunction.standard(S)
+        assert vf[4] == T_INIT
+
+    def test_total_on_schedule(self):
+        assert VersionFunction.standard(S).is_total_on(S)
+
+
+class TestValidation:
+    def test_standard_validates(self):
+        VersionFunction.standard(S).validate(S)
+
+    def test_non_read_position_rejected(self):
+        with pytest.raises(ValueError):
+            VersionFunction({0: T_INIT}).validate(S)
+
+    def test_source_must_be_write(self):
+        with pytest.raises(ValueError):
+            VersionFunction({3: 1}).validate(S)  # source is a read
+
+    def test_source_must_match_entity(self):
+        s = parse_schedule("W1(y) R2(x)")
+        with pytest.raises(ValueError):
+            VersionFunction({1: 0}).validate(s)
+
+    def test_source_must_precede_read(self):
+        # "the multiversion approach can do nothing about a read that
+        # arrived too early"
+        with pytest.raises(ValueError):
+            VersionFunction({1: 2}).validate(S)
+
+    def test_older_version_is_legal(self):
+        # The whole point of multiversion: the second R2(x) may be served
+        # the older version W1(x).
+        VersionFunction({1: 0, 3: 0, 4: T_INIT}).validate(S)
+
+
+class TestCombinators:
+    def test_source_txn(self):
+        vf = VersionFunction({1: 0, 3: 0, 4: T_INIT})
+        assert vf.source_txn(S, 1) == 1
+        assert vf.source_txn(S, 4) == T_INIT
+
+    def test_extends(self):
+        small = VersionFunction({1: 0})
+        big = VersionFunction({1: 0, 3: 2})
+        assert big.extends(small)
+        assert not small.extends(big)
+        assert not VersionFunction({1: T_INIT}).extends(small)
+
+    def test_restricted_to(self):
+        vf = VersionFunction({1: 0, 3: 2})
+        assert dict(vf.restricted_to([1]).assignments) == {1: 0}
+
+    def test_merged_with(self):
+        merged = VersionFunction({1: 0}).merged_with(VersionFunction({3: 2}))
+        assert dict(merged.assignments) == {1: 0, 3: 2}
+
+    def test_merge_conflict_rejected(self):
+        with pytest.raises(ValueError):
+            VersionFunction({1: 0}).merged_with(VersionFunction({1: T_INIT}))
+
+    def test_container_protocol(self):
+        vf = VersionFunction({1: 0})
+        assert 1 in vf and 3 not in vf
+        assert len(vf) == 1 and list(vf) == [1]

@@ -1,0 +1,104 @@
+"""The OLS decision procedure."""
+
+import random
+
+from repro.model.enumeration import random_interleaving, random_schedule
+from repro.model.parsing import parse_schedule
+from repro.model.schedules import T_INIT
+from repro.ols.decision import (
+    branching_prefixes,
+    is_ols,
+    ols_certificate,
+    prefix_signatures,
+    shared_signature,
+    witness_exists,
+)
+
+from tests.helpers import S1_NOT_MVSR, SEC4_S, SEC4_S_PRIME
+
+
+class TestBranchingPrefixes:
+    def test_pairwise_lcp(self):
+        assert branching_prefixes([SEC4_S, SEC4_S_PRIME]) == [3]
+
+    def test_identical_schedules(self):
+        assert branching_prefixes([SEC4_S, SEC4_S]) == [len(SEC4_S)]
+
+    def test_three_schedules(self):
+        a = parse_schedule("R1(x) W1(x) R2(x)")
+        b = parse_schedule("R1(x) W1(x) W2(y)")
+        c = parse_schedule("R1(x) R2(x) W1(x)")
+        assert branching_prefixes([a, b, c]) == [1, 2]
+
+
+class TestSignatures:
+    def test_section4_signatures_disjoint(self):
+        lcp = SEC4_S.common_prefix_length(SEC4_S_PRIME)
+        sig_s = prefix_signatures(SEC4_S, lcp)
+        sig_sp = prefix_signatures(SEC4_S_PRIME, lcp)
+        assert sig_s == {((0, T_INIT), (2, "A"))}
+        assert sig_sp == {((0, T_INIT), (2, T_INIT))}
+        assert not (sig_s & sig_sp)
+
+    def test_shared_signature_found_when_compatible(self):
+        sig = shared_signature([SEC4_S, SEC4_S], len(SEC4_S))
+        assert sig is not None
+        assert witness_exists(SEC4_S, sig)
+
+    def test_shared_signature_none_for_section4(self):
+        lcp = SEC4_S.common_prefix_length(SEC4_S_PRIME)
+        assert shared_signature([SEC4_S, SEC4_S_PRIME], lcp) is None
+
+
+class TestIsOLS:
+    def test_section4_pair_not_ols(self):
+        """The paper's §4 witness that MVCSR is not OLS."""
+        assert not is_ols([SEC4_S, SEC4_S_PRIME])
+
+    def test_singleton_ols_iff_mvsr(self):
+        assert is_ols([SEC4_S])
+        assert not is_ols([S1_NOT_MVSR])
+
+    def test_pair_with_non_mvsr_member_not_ols(self):
+        assert not is_ols([SEC4_S, S1_NOT_MVSR])
+
+    def test_disjoint_schedules_ols(self):
+        # No common prefix constraints: OLS iff each is MVSR.
+        a = parse_schedule("R1(x) W1(x)")
+        b = parse_schedule("W2(y) R3(y)")
+        assert is_ols([a, b])
+
+    def test_certificate_version_functions_validate(self):
+        a = parse_schedule("W1(x) R2(x) W2(y)")
+        b = parse_schedule("W1(x) R2(x) R2(y)")
+        cert = ols_certificate([a, b])
+        assert cert is not None
+        for (plen, _g), vf in cert.prefix_version_functions.items():
+            vf.validate(a.prefix(plen))
+
+    def test_prefix_closed_sets_random(self):
+        """A schedule together with its own prefixes is always OLS when
+        the schedule is MVSR (restriction of its version function)."""
+        rng = random.Random(0)
+        checked = 0
+        for _ in range(40):
+            s = random_schedule(2, ["x", "y"], 3, rng)
+            if not witness_exists(s, {}):
+                continue
+            assert is_ols([s, s.prefix(4), s.prefix(2)])
+            checked += 1
+        assert checked > 5
+
+
+class TestOLSAgainstBruteForce:
+    def test_pairs_against_signature_intersection(self):
+        """is_ols (joint search) == non-empty signature intersection."""
+        rng = random.Random(1)
+        for _ in range(60):
+            a = random_schedule(2, ["x", "y"], 3, rng)
+            b = random_interleaving(a.transaction_system(), rng)
+            lcp = a.common_prefix_length(b)
+            brute = bool(
+                prefix_signatures(a, lcp) & prefix_signatures(b, lcp)
+            ) and witness_exists(a, {}) and witness_exists(b, {})
+            assert is_ols([a, b]) == brute, f"{a} || {b}"

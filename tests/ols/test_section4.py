@@ -1,0 +1,73 @@
+"""The §4 worked example, end to end.
+
+The paper establishes that MVCSR is not OLS with one pair of schedules;
+this test reproduces every claim made about them.
+"""
+
+from repro.classes.dmvsr import is_dmvsr
+from repro.classes.mvcsr import is_mvcsr
+from repro.classes.mvsr import all_mvsr_serializations, version_function_for_order
+from repro.classes.serial import serial_schedule_for
+from repro.model.readfrom import view_equivalent
+from repro.model.schedules import T_INIT
+from repro.ols.decision import is_ols
+from repro.schedulers.mvcg import EagerMVCGScheduler, MVCGScheduler
+from repro.schedulers.mvto import MVTOScheduler
+
+from tests.helpers import SEC4_S, SEC4_S_PRIME
+
+
+class TestPaperClaims:
+    def test_both_in_dmvsr_hence_mvcsr(self):
+        assert is_dmvsr(SEC4_S) and is_dmvsr(SEC4_S_PRIME)
+        assert is_mvcsr(SEC4_S) and is_mvcsr(SEC4_S_PRIME)
+
+    def test_s_serializes_only_as_AB(self):
+        assert all_mvsr_serializations(SEC4_S) == [["A", "B"]]
+
+    def test_s_prime_serializes_only_as_BA(self):
+        assert all_mvsr_serializations(SEC4_S_PRIME) == [["B", "A"]]
+
+    def test_s_reads_x_from_A(self):
+        vf = version_function_for_order(SEC4_S, ["A", "B"])
+        # R_B(x) is at position 2; W_A(x) at position 1.
+        assert vf[2] == 1
+
+    def test_s_prime_reads_x_from_T0(self):
+        vf = version_function_for_order(SEC4_S_PRIME, ["B", "A"])
+        assert vf[2] == T_INIT
+
+    def test_view_equivalences(self):
+        for s, order in ((SEC4_S, ["A", "B"]), (SEC4_S_PRIME, ["B", "A"])):
+            vf = version_function_for_order(s, order)
+            r = serial_schedule_for(s, order)
+            assert view_equivalent(s, r, vf, None)
+
+    def test_pair_is_not_ols(self):
+        """No version function on the common prefix serves both."""
+        assert not is_ols([SEC4_S, SEC4_S_PRIME])
+
+
+class TestSchedulerConsequences:
+    """No on-line scheduler can accept both schedules of the pair —
+    concretely visible on the implemented multiversion schedulers."""
+
+    def test_clairvoyant_mvcg_accepts_both(self):
+        # ...which is exactly why it is not an on-line scheduler: its
+        # version function is only available at end-of-stream.
+        assert MVCGScheduler().accepts(SEC4_S)
+        assert MVCGScheduler().accepts(SEC4_S_PRIME)
+
+    def test_eager_mvcg_cannot_accept_both(self):
+        accepted = [
+            EagerMVCGScheduler().accepts(s) for s in (SEC4_S, SEC4_S_PRIME)
+        ]
+        assert not all(accepted)
+        assert any(accepted)  # it does accept one of them
+
+    def test_mvto_cannot_accept_both(self):
+        accepted = [
+            MVTOScheduler().accepts(s) for s in (SEC4_S, SEC4_S_PRIME)
+        ]
+        assert not all(accepted)
+        assert any(accepted)

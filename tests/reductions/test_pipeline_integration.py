@@ -1,0 +1,70 @@
+"""End-to-end: SAT formula -> polygraph -> Theorems 4/5/6 -> decisions.
+
+The complete NP-hardness pipeline on one satisfiable and one
+unsatisfiable seed formula, every stage checked against every other.
+These instances have ~20 transactions and ~100-200 steps; they are
+tractable only because the deciders search the choice space rather than
+the order space (see repro.classes.mvsr.is_mvsr_fixed).
+"""
+
+import pytest
+
+from repro.classes.mvcsr import is_mvcsr
+from repro.classes.mvsr import is_mvsr
+from repro.ols.decision import is_ols
+from repro.reductions.sat_to_polygraph import monotone_sat_to_polygraph
+from repro.reductions.theorem4 import theorem4_schedules
+from repro.reductions.theorem5 import theorem5_schedule
+from repro.reductions.theorem6 import theorem6_adaptive_construction
+from repro.sat.brute import solve_bruteforce
+from repro.sat.cnf import CNF, neg, pos
+from repro.schedulers.maximal import MaximalOracleScheduler
+from repro.schedulers.mvto import MVTOScheduler
+
+SAT_SEED = CNF([(pos("a"), pos("b")), (neg("a"), neg("b"))])
+UNSAT_SEED = CNF([(pos("a"), pos("a")), (neg("a"), neg("a"))])
+
+
+@pytest.fixture(scope="module", params=["sat", "unsat"])
+def pipeline(request):
+    formula = SAT_SEED if request.param == "sat" else UNSAT_SEED
+    satisfiable = solve_bruteforce(formula) is not None
+    sat_poly = monotone_sat_to_polygraph(formula)
+    normalized = sat_poly.polygraph.ensure_property_a()
+    return request.param, formula, satisfiable, sat_poly, normalized
+
+
+class TestPipeline:
+    def test_polygraph_tracks_satisfiability(self, pipeline):
+        _name, _f, satisfiable, sat_poly, _norm = pipeline
+        assert sat_poly.polygraph.is_acyclic() == satisfiable
+
+    def test_normalization_preserves_acyclicity(self, pipeline):
+        _name, _f, satisfiable, _sp, normalized = pipeline
+        assert normalized.has_property_a()
+        assert normalized.is_acyclic() == satisfiable
+
+    def test_theorem4_at_scale(self, pipeline):
+        _name, _f, satisfiable, _sp, normalized = pipeline
+        s1, s2 = theorem4_schedules(normalized)
+        assert is_mvcsr(s1) and is_mvcsr(s2)
+        assert is_ols([s1, s2]) == satisfiable
+
+    def test_theorem5_at_scale(self, pipeline):
+        _name, _f, satisfiable, _sp, normalized = pipeline
+        s = theorem5_schedule(normalized)
+        assert is_mvsr(s) == satisfiable
+
+    def test_theorem6_at_scale(self, pipeline):
+        _name, _f, satisfiable, sat_poly, _norm = pipeline
+        result = theorem6_adaptive_construction(
+            sat_poly.polygraph, MVTOScheduler
+        )
+        assert is_mvcsr(result.schedule)
+        # Soundness for the efficient scheduler; exactness for the oracle.
+        if result.accepted:
+            assert satisfiable
+        oracle = MaximalOracleScheduler(
+            result.schedule.transaction_system()
+        )
+        assert oracle.accepts(result.schedule) == satisfiable

@@ -1,0 +1,144 @@
+"""The reconstructed monotone-SAT -> polygraph reduction.
+
+Since the original [Papadimitriou 79] gadget is only sketched in the
+paper, correctness of the reconstruction is established *empirically*:
+exhaustively over all monotone formulas with up to three clauses over
+three variables, and on randomized larger instances, against brute-force
+SAT.  These tests are the authority for DESIGN.md's substitution note.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.reductions.sat_to_polygraph import (
+    monotone_sat_to_polygraph,
+    sat_to_polygraph,
+)
+from repro.sat.brute import solve_bruteforce
+from repro.sat.cnf import CNF, neg, pos
+
+
+def _exhaustive_monotone_formulas(variables=("a", "b", "c"), max_clauses=2):
+    """All monotone formulas with <= max_clauses clauses (width 1-3)."""
+    pos_clauses = [
+        tuple(pos(v) for v in combo)
+        for r in (1, 2, 3)
+        for combo in itertools.combinations(variables, r)
+    ]
+    neg_clauses = [
+        tuple(neg(v) for v in combo)
+        for r in (1, 2, 3)
+        for combo in itertools.combinations(variables, r)
+    ]
+    all_clauses = pos_clauses + neg_clauses
+    for n in range(1, max_clauses + 1):
+        for combo in itertools.combinations(all_clauses, n):
+            yield CNF(list(combo))
+
+
+class TestStructuralProperties:
+    def test_choices_node_disjoint(self):
+        f = CNF([(pos("a"), pos("b")), (neg("a"), neg("b"))])
+        poly = monotone_sat_to_polygraph(f).polygraph
+        assert poly.choices_node_disjoint()
+
+    def test_first_branches_acyclic(self):
+        f = CNF([(pos("a"), pos("b")), (neg("a"), neg("b"))])
+        poly = monotone_sat_to_polygraph(f).polygraph
+        assert poly.first_branch_graph().is_acyclic()
+
+    def test_arc_graph_acyclic(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            nv = rng.randint(2, 5)
+            vs = [f"x{i}" for i in range(nv)]
+            clauses = []
+            for _ in range(rng.randint(1, 6)):
+                width = min(rng.randint(1, 3), nv)
+                polarity = rng.random() < 0.5
+                clauses.append(
+                    tuple((v, polarity) for v in rng.sample(vs, width))
+                )
+            poly = monotone_sat_to_polygraph(CNF(clauses)).polygraph
+            assert poly.arc_graph().is_acyclic()
+            poly.validate()
+
+    def test_rejects_non_monotone(self):
+        with pytest.raises(ValueError):
+            monotone_sat_to_polygraph(CNF([(pos("a"), neg("b"))]))
+
+    def test_rejects_wide_clauses(self):
+        wide = CNF([tuple(pos(f"v{k}") for k in range(4))])
+        with pytest.raises(ValueError):
+            monotone_sat_to_polygraph(wide)
+
+
+class TestCorrectnessExhaustive:
+    def test_acyclic_iff_satisfiable(self):
+        for f in _exhaustive_monotone_formulas():
+            sat = solve_bruteforce(f) is not None
+            sp = monotone_sat_to_polygraph(f)
+            selection = sp.polygraph.acyclic_selection()
+            assert (selection is not None) == sat, str(f)
+            if selection is not None:
+                assert f.evaluate(sp.decode(selection)), str(f)
+
+
+class TestCorrectnessRandom:
+    def test_acyclic_iff_satisfiable_random(self):
+        rng = random.Random(7)
+        for _ in range(200):
+            nv = rng.randint(2, 5)
+            vs = [f"x{i}" for i in range(nv)]
+            clauses = []
+            for _ in range(rng.randint(1, 6)):
+                width = min(rng.randint(1, 3), nv)
+                polarity = rng.random() < 0.5
+                clauses.append(
+                    tuple((v, polarity) for v in rng.sample(vs, width))
+                )
+            f = CNF(clauses)
+            sat = solve_bruteforce(f) is not None
+            sp = monotone_sat_to_polygraph(f)
+            selection = sp.polygraph.acyclic_selection()
+            assert (selection is not None) == sat, str(f)
+            if selection is not None:
+                assert f.evaluate(sp.decode(selection)), str(f)
+
+    def test_duplicate_literals_collapsed(self):
+        f = CNF([(pos("a"), pos("a"), pos("b"))])
+        sp = monotone_sat_to_polygraph(f)
+        # Two occurrence switches, not three.
+        assert len(sp.occurrence_choice) == 2
+
+
+class TestFullPipeline:
+    def test_arbitrary_cnf_through_monotone(self):
+        rng = random.Random(9)
+        for _ in range(60):
+            nv = rng.randint(1, 4)
+            vs = [f"v{i}" for i in range(nv)]
+            clauses = []
+            for _ in range(rng.randint(1, 4)):
+                width = rng.randint(1, 3)
+                clauses.append(
+                    tuple(
+                        (rng.choice(vs), rng.random() < 0.5)
+                        for _ in range(width)
+                    )
+                )
+            f = CNF(clauses)
+            sat = solve_bruteforce(f) is not None
+            sp = sat_to_polygraph(f)
+            assert sp.polygraph.is_acyclic() == sat, str(f)
+
+    def test_decoded_assignment_projects_to_original(self):
+        f = CNF([(pos("p"), neg("q")), (pos("q"), pos("r"))])
+        sp = sat_to_polygraph(f)
+        selection = sp.polygraph.acyclic_selection()
+        assert selection is not None
+        mono_assignment = sp.decode(selection)
+        projected = {v: mono_assignment[("mono+", v)] for v in f.variables}
+        assert f.evaluate(projected)

@@ -1,0 +1,85 @@
+"""Theorem 4: {s1, s2} is OLS iff the polygraph is acyclic."""
+
+import random
+
+import pytest
+
+from repro.classes.mvcsr import is_mvcsr, mv_conflict_graph
+from repro.graphs.polygraph import Polygraph, random_polygraph
+from repro.ols.decision import is_ols
+from repro.reductions.theorem4 import theorem4_schedules
+
+
+def _eligible_polygraphs(n: int, seed: int):
+    rng = random.Random(seed)
+    produced = 0
+    while produced < n:
+        poly = random_polygraph(
+            rng.randint(3, 5), rng.randint(1, 4), rng.randint(1, 3), rng
+        ).ensure_property_a()
+        if poly.satisfies_theorem4_assumptions():
+            produced += 1
+            yield poly
+
+
+class TestConstruction:
+    def test_rejects_assumption_violations(self):
+        # An arc with no choice violates property (a).
+        poly = Polygraph.of(nodes=[1, 2], arcs=[(1, 2)])
+        with pytest.raises(ValueError):
+            theorem4_schedules(poly)
+
+    def test_shared_prefix_contains_part_i(self):
+        poly = Polygraph.of(nodes=[0, 1, 2])
+        poly.add_choice(1, 2, 0)
+        s1, s2 = theorem4_schedules(poly)
+        lcp = s1.common_prefix_length(s2)
+        # Part (i) contributes 3 steps per choice, all shared; the lcp may
+        # extend into part (ii) since (ii1) and (ii2) share W_i(b').
+        assert lcp >= 3 * len(poly.choices)
+        assert s1.prefix(lcp) == s2.prefix(lcp)
+        part_i = s1.prefix(3 * len(poly.choices))
+        assert all(step.entity.startswith("b[") for step in part_i)
+
+    def test_mvcg_s1_is_arc_graph(self):
+        for poly in _eligible_polygraphs(10, seed=1):
+            s1, _s2 = theorem4_schedules(poly)
+            g = mv_conflict_graph(s1)
+            assert set(g.arcs) == set(poly.arcs), poly
+
+    def test_mvcg_s2_is_first_branch_graph(self):
+        for poly in _eligible_polygraphs(10, seed=2):
+            _s1, s2 = theorem4_schedules(poly)
+            g = mv_conflict_graph(s2)
+            expected = {(j, k) for (j, k, _i) in poly.choices}
+            assert set(g.arcs) == expected, poly
+
+    def test_both_schedules_mvcsr(self):
+        """The instances are MVCSR, so the hardness is purely OLS."""
+        for poly in _eligible_polygraphs(15, seed=3):
+            s1, s2 = theorem4_schedules(poly)
+            assert is_mvcsr(s1) and is_mvcsr(s2)
+
+
+class TestEquivalence:
+    def test_ols_iff_acyclic_random(self):
+        for poly in _eligible_polygraphs(25, seed=4):
+            s1, s2 = theorem4_schedules(poly)
+            assert is_ols([s1, s2]) == poly.is_acyclic(), poly
+
+    def test_acyclic_singleton(self):
+        poly = Polygraph.of(nodes=[0, 1, 2])
+        poly.add_choice(1, 2, 0)
+        s1, s2 = theorem4_schedules(poly)
+        assert poly.is_acyclic()
+        assert is_ols([s1, s2])
+
+    def test_forced_cyclic_pair_not_ols(self):
+        # Both branches of the only choice close a cycle.
+        poly = Polygraph.of(nodes=[0, 1, 2], arcs=[(2, 1), (0, 2)])
+        poly.add_choice(1, 2, 0)
+        poly = poly.ensure_property_a()
+        assert poly.satisfies_theorem4_assumptions()
+        assert not poly.is_acyclic()
+        s1, s2 = theorem4_schedules(poly)
+        assert not is_ols([s1, s2])

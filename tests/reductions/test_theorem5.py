@@ -1,0 +1,90 @@
+"""Theorem 5: the forced-read schedule is MVSR iff the polygraph is acyclic."""
+
+import random
+
+import pytest
+
+from repro.classes.mvsr import is_mvsr
+from repro.graphs.polygraph import Polygraph, random_polygraph
+from repro.model.schedules import T_INIT
+from repro.ols.decision import prefix_signatures
+from repro.reductions.theorem5 import theorem5_schedule
+from repro.schedulers.maximal import MaximalOracleScheduler
+
+
+def _eligible_polygraphs(n: int, seed: int):
+    rng = random.Random(seed)
+    produced = 0
+    while produced < n:
+        poly = random_polygraph(
+            rng.randint(3, 5), rng.randint(1, 4), rng.randint(1, 3), rng
+        ).ensure_property_a()
+        if poly.satisfies_theorem4_assumptions():
+            produced += 1
+            yield poly
+
+
+class TestConstruction:
+    def test_rejects_assumption_violations(self):
+        poly = Polygraph.of(nodes=[1, 2], arcs=[(1, 2)])
+        with pytest.raises(ValueError):
+            theorem5_schedule(poly)
+
+    def test_read_froms_forced(self):
+        """Corollary 1's precondition: a unique signature across all
+        serializations (checked on acyclic instances)."""
+        for poly in _eligible_polygraphs(6, seed=0):
+            if not poly.is_acyclic():
+                continue
+            s = theorem5_schedule(poly)
+            signatures = prefix_signatures(s, len(s))
+            assert len(signatures) == 1, poly
+
+    def test_forced_sources_match_paper(self):
+        poly = Polygraph.of(nodes=[0, 1, 2])
+        poly.add_choice(1, 2, 0)
+        s = theorem5_schedule(poly)
+        (signature,) = prefix_signatures(s, len(s))
+        by_position = dict(signature)
+        for position, source in by_position.items():
+            step = s[position]
+            if step.entity.startswith("a["):
+                assert source == T_INIT  # R_i(a) reads from T0
+            else:
+                assert source == 0  # R_j(b), R_j(b') read from T_i
+
+
+class TestEquivalence:
+    def test_mvsr_iff_acyclic(self):
+        for poly in _eligible_polygraphs(20, seed=1):
+            s = theorem5_schedule(poly)
+            assert is_mvsr(s) == poly.is_acyclic(), poly
+
+    def test_cyclic_instance_rejected(self):
+        poly = Polygraph.of(nodes=[0, 1, 2], arcs=[(2, 1), (0, 2)])
+        poly.add_choice(1, 2, 0)
+        poly = poly.ensure_property_a()
+        s = theorem5_schedule(poly)
+        assert not poly.is_acyclic()
+        assert not is_mvsr(s)
+
+
+class TestMaximalSchedulerAcceptance:
+    """Corollary 1: schedules with forced read-froms are accepted by all
+    maximal multiversion schedulers iff they are MVSR."""
+
+    def test_oracle_accepts_iff_acyclic(self):
+        for poly in _eligible_polygraphs(8, seed=2):
+            s = theorem5_schedule(poly)
+            scheduler = MaximalOracleScheduler(s.transaction_system())
+            assert scheduler.accepts(s) == poly.is_acyclic(), poly
+
+    def test_oracle_version_function_on_accept(self):
+        for poly in _eligible_polygraphs(4, seed=3):
+            if not poly.is_acyclic():
+                continue
+            s = theorem5_schedule(poly)
+            scheduler = MaximalOracleScheduler(s.transaction_system())
+            assert scheduler.accepts(s)
+            vf = scheduler.version_function()
+            vf.validate(s)

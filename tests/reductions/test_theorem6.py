@@ -1,0 +1,110 @@
+"""Theorem 6: the adaptive construction against concrete schedulers."""
+
+import random
+
+import pytest
+
+from repro.classes.mvcsr import is_mvcsr
+from repro.graphs.polygraph import Polygraph, random_polygraph
+from repro.reductions.sat_to_polygraph import monotone_sat_to_polygraph
+from repro.reductions.theorem6 import theorem6_adaptive_construction
+from repro.sat.cnf import CNF, neg, pos
+from repro.schedulers.maximal import MaximalOracleScheduler
+from repro.schedulers.mvcg import EagerMVCGScheduler
+from repro.schedulers.mvto import MVTOScheduler
+
+
+def _disjoint_polygraphs(n: int, seed: int):
+    """Random polygraphs with node-disjoint choices (Theorem 6 shape)."""
+    rng = random.Random(seed)
+    produced = 0
+    while produced < n:
+        poly = random_polygraph(
+            rng.randint(4, 6), rng.randint(1, 4), rng.randint(1, 2), rng
+        )
+        if (
+            poly.choices_node_disjoint()
+            and poly.first_branch_graph().is_acyclic()
+            and poly.arc_graph().is_acyclic()
+            and poly.choices
+        ):
+            produced += 1
+            yield poly
+
+
+SAT_FORMULA = CNF([(pos("a"), pos("b")), (neg("a"), neg("b"))])
+UNSAT_FORMULA = CNF(
+    [(pos("a"), pos("a")), (pos("b"), pos("b")), (neg("a"), neg("b"))]
+)
+
+
+class TestConstruction:
+    def test_rejects_overlapping_choices(self):
+        poly = Polygraph()
+        poly.add_choice(2, 3, 1)
+        poly.add_choice(3, 4, 5)  # shares node 3
+        with pytest.raises(ValueError):
+            theorem6_adaptive_construction(poly, MVTOScheduler)
+
+    def test_schedule_is_always_mvcsr(self):
+        """MVCG(s) is the arc graph, acyclic by assumption (c)."""
+        for poly in _disjoint_polygraphs(8, seed=0):
+            result = theorem6_adaptive_construction(poly, MVTOScheduler)
+            assert is_mvcsr(result.schedule), poly
+
+    def test_forced_sources_recorded(self):
+        for poly in _disjoint_polygraphs(3, seed=1):
+            result = theorem6_adaptive_construction(poly, MVTOScheduler)
+            assert len(result.forced_sources) == len(poly.choices)
+            # Every forced source is the choice's T_i.
+            for entity, source in result.forced_sources.items():
+                assert f",{source}]" in entity or str(source) in entity
+
+
+class TestSoundness:
+    """Accepting schedulers never accept when the polygraph is cyclic."""
+
+    def test_efficient_schedulers_sound(self):
+        for factory in (MVTOScheduler, EagerMVCGScheduler):
+            for poly in _disjoint_polygraphs(10, seed=2):
+                result = theorem6_adaptive_construction(poly, factory)
+                if result.accepted:
+                    assert poly.is_acyclic(), (factory.__name__, poly)
+
+    def test_unsat_pipeline_rejected(self):
+        sp = monotone_sat_to_polygraph(UNSAT_FORMULA)
+        assert not sp.polygraph.is_acyclic()
+        for factory in (MVTOScheduler, EagerMVCGScheduler):
+            result = theorem6_adaptive_construction(sp.polygraph, factory)
+            assert not result.accepted, factory.__name__
+
+    def test_sat_pipeline_oracle_accepts(self):
+        """The maximal scheduler accepts the satisfiable instance; the
+        efficient schedulers are sound but may reject it — they recognize
+        non-maximal classes, which is Theorem 6's content."""
+        sp = monotone_sat_to_polygraph(SAT_FORMULA)
+        assert sp.polygraph.is_acyclic()
+        result = theorem6_adaptive_construction(sp.polygraph, MVTOScheduler)
+        oracle = MaximalOracleScheduler(
+            result.schedule.transaction_system()
+        )
+        assert oracle.accepts(result.schedule)
+        for factory in (MVTOScheduler, EagerMVCGScheduler):
+            outcome = theorem6_adaptive_construction(sp.polygraph, factory)
+            if outcome.accepted:
+                assert sp.polygraph.is_acyclic()  # soundness either way
+
+
+class TestMaximality:
+    """The maximal oracle accepts iff acyclic; efficient schedulers may
+    reject acyclic instances — they recognize non-maximal classes, which
+    is Theorem 6's content."""
+
+    def test_oracle_accepts_iff_acyclic(self):
+        for poly in _disjoint_polygraphs(6, seed=3):
+            # Build the schedule adaptively against MVTO (any driver works
+            # for the construction), then judge it with the oracle.
+            result = theorem6_adaptive_construction(poly, MVTOScheduler)
+            system = result.schedule.transaction_system()
+            oracle = MaximalOracleScheduler(system)
+            assert oracle.accepts(result.schedule) == poly.is_acyclic(), poly

@@ -1,0 +1,46 @@
+"""CNF data structure."""
+
+import pytest
+
+from repro.sat.cnf import CNF, neg, pos
+
+
+class TestCNF:
+    def test_add_clause_and_iter(self):
+        f = CNF()
+        f.add_clause(pos("a"), neg("b"))
+        assert len(f) == 1
+        assert list(f) == [(("a", True), ("b", False))]
+
+    def test_variables_first_appearance_order(self):
+        f = CNF.of([[pos("b")], [pos("a"), neg("b")]])
+        assert f.variables == ["b", "a"]
+
+    def test_evaluate_true(self):
+        f = CNF.of([[pos("a"), pos("b")], [neg("a")]])
+        assert f.evaluate({"a": False, "b": True})
+
+    def test_evaluate_false(self):
+        f = CNF.of([[pos("a")], [neg("a")]])
+        assert not f.evaluate({"a": True})
+        assert not f.evaluate({"a": False})
+
+    def test_evaluate_empty_clause_false(self):
+        assert not CNF.of([[]]).evaluate({})
+
+    def test_evaluate_empty_formula_true(self):
+        assert CNF().evaluate({})
+
+    def test_evaluate_missing_variable_raises(self):
+        with pytest.raises(KeyError):
+            CNF.of([[pos("a")]]).evaluate({})
+
+    def test_to_ints_polarity(self):
+        f = CNF.of([[pos("a"), neg("b")], [neg("a")]])
+        ints, index = f.to_ints()
+        a, b = index["a"], index["b"]
+        assert ints == [[a, -b], [-a]]
+
+    def test_str_rendering(self):
+        f = CNF.of([[pos("a"), neg("b")]])
+        assert str(f) == "(a | ~b)"

@@ -1,0 +1,119 @@
+"""3-SAT and monotone transforms: equisatisfiability against brute force."""
+
+import itertools
+import random
+
+from repro.sat.brute import solve_bruteforce
+from repro.sat.cnf import CNF, neg, pos
+from repro.sat.transforms import (
+    is_monotone,
+    restricted_satisfiability_instance,
+    to_3sat,
+    to_monotone,
+)
+
+
+def _random_formula(rng: random.Random, max_width: int = 5) -> CNF:
+    variables = [f"v{k}" for k in range(rng.randint(1, 5))]
+    clauses = []
+    for _ in range(rng.randint(1, 6)):
+        width = rng.randint(1, max_width)
+        clauses.append(
+            tuple(
+                (rng.choice(variables), rng.random() < 0.5)
+                for _ in range(width)
+            )
+        )
+    return CNF(clauses)
+
+
+class TestIsMonotone:
+    def test_accepts_monotone(self):
+        f = CNF.of([[pos("a"), pos("b")], [neg("a"), neg("c"), neg("b")]])
+        assert is_monotone(f)
+
+    def test_rejects_mixed_clause(self):
+        assert not is_monotone(CNF.of([[pos("a"), neg("b")]]))
+
+    def test_rejects_wrong_width(self):
+        assert not is_monotone(CNF.of([[pos("a")]]))
+        assert is_monotone(CNF.of([[pos("a")]]), min_clause=1)
+        four = CNF.of([[pos("a"), pos("b"), pos("c"), pos("d")]])
+        assert not is_monotone(four)
+
+
+class TestTo3Sat:
+    def test_short_clauses_unchanged(self):
+        f = CNF.of([[pos("a"), neg("b")]])
+        assert to_3sat(f).clauses == f.clauses
+
+    def test_long_clause_split(self):
+        f = CNF.of([[pos(f"v{k}") for k in range(6)]])
+        g = to_3sat(f)
+        assert all(len(c) <= 3 for c in g.clauses)
+        assert len(g.clauses) > 1
+
+    def test_equisatisfiable_random(self):
+        rng = random.Random(0)
+        for _ in range(150):
+            f = _random_formula(rng)
+            g = to_3sat(f)
+            assert (solve_bruteforce(f) is None) == (
+                solve_bruteforce(g) is None
+            )
+
+    def test_unsat_preserved(self):
+        # (a|b|c|d) & ~a & ~b & ~c & ~d
+        f = CNF.of(
+            [[pos("a"), pos("b"), pos("c"), pos("d")]]
+            + [[neg(v)] for v in "abcd"]
+        )
+        assert solve_bruteforce(to_3sat(f)) is None
+
+
+class TestToMonotone:
+    def test_output_is_monotone(self):
+        f = CNF.of([[pos("a"), neg("b"), pos("c")], [neg("a")]])
+        g = to_monotone(f)
+        assert is_monotone(g)
+
+    def test_equisatisfiable_random(self):
+        rng = random.Random(1)
+        for _ in range(150):
+            f = _random_formula(rng, max_width=3)
+            g = to_monotone(f)
+            assert (solve_bruteforce(f) is None) == (
+                solve_bruteforce(g) is None
+            )
+
+    def test_monotone_model_projects_back(self):
+        f = CNF.of([[pos("a"), neg("b")], [pos("b"), pos("c")]])
+        g = to_monotone(f)
+        model = solve_bruteforce(g)
+        assert model is not None
+        projected = {
+            v: model[("mono+", v)] for v in f.variables
+        }
+        assert f.evaluate(projected)
+
+    def test_empty_clause_encoded_unsat(self):
+        f = CNF.of([[]])
+        g = to_monotone(f)
+        assert is_monotone(g)
+        assert solve_bruteforce(g) is None
+
+    def test_exhaustive_tiny(self):
+        # All formulas of <=2 clauses of width <=2 over two variables.
+        lits = [pos("a"), neg("a"), pos("b"), neg("b")]
+        clauses = [
+            tuple(c)
+            for w in (1, 2)
+            for c in itertools.product(lits, repeat=w)
+        ]
+        for combo in itertools.combinations(clauses, 2):
+            f = CNF(list(combo))
+            g = restricted_satisfiability_instance(f)
+            assert is_monotone(g)
+            assert (solve_bruteforce(f) is None) == (
+                solve_bruteforce(g) is None
+            )

@@ -1,0 +1,56 @@
+"""The scheduler base protocol."""
+
+from repro.model.parsing import parse_schedule
+from repro.schedulers.base import run_schedule, source_txn_of_last_read
+from repro.schedulers.mvto import MVTOScheduler
+from repro.schedulers.sgt import SGTScheduler
+
+
+class TestProtocol:
+    def test_run_schedule_accept(self):
+        s = parse_schedule("W1(x) R2(x)")
+        accepted, vf = run_schedule(MVTOScheduler(), s)
+        assert accepted
+        assert vf is not None and vf[1] == 0
+
+    def test_run_schedule_reject(self):
+        s = parse_schedule("R1(x) R2(x) W1(x)")
+        accepted, _vf = run_schedule(MVTOScheduler(), s)
+        assert not accepted
+
+    def test_single_version_scheduler_standard_vf(self):
+        s = parse_schedule("W1(x) R2(x)")
+        accepted, vf = run_schedule(SGTScheduler(), s)
+        assert accepted and vf is None  # None signals "standard"
+
+    def test_dead_state_and_reset(self):
+        sched = MVTOScheduler()
+        bad = parse_schedule("R1(x) R2(x) W1(x)")
+        assert not sched.accepts(bad)
+        assert sched.dead
+        # reset revives it
+        good = parse_schedule("R1(x) W1(x)")
+        assert sched.accepts(good)
+        assert not sched.dead
+
+    def test_accepted_prefix_length(self):
+        sched = MVTOScheduler()
+        bad = parse_schedule("R1(x) R2(x) W1(x) W2(x)")
+        assert sched.accepted_prefix_length(bad) == 2
+
+    def test_source_txn_of_last_read(self):
+        sched = MVTOScheduler()
+        sched.reset()
+        for step in parse_schedule("W1(x) R2(x)"):
+            sched.submit(step)
+        assert source_txn_of_last_read(sched) == 1
+
+    def test_source_txn_none_cases(self):
+        sched = MVTOScheduler()
+        sched.reset()
+        assert source_txn_of_last_read(sched) is None  # no reads yet
+        sv = SGTScheduler()
+        sv.reset()
+        for step in parse_schedule("W1(x) R2(x)"):
+            sv.submit(step)
+        assert source_txn_of_last_read(sv) is None  # single-version

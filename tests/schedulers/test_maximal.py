@@ -1,0 +1,144 @@
+"""The maximal-oracle scheduler (Lemma 1)."""
+
+import random
+
+import pytest
+
+from repro.classes.mvsr import is_mvsr
+from repro.model.enumeration import random_schedule
+from repro.model.parsing import parse_schedule
+from repro.schedulers.maximal import MaximalOracleScheduler
+from repro.schedulers.mvcg import EagerMVCGScheduler
+from repro.schedulers.mvto import MVTOScheduler
+
+from tests.helpers import S1_NOT_MVSR, SEC4_S, SEC4_S_PRIME
+
+
+def _oracle(schedule):
+    return MaximalOracleScheduler(schedule.transaction_system())
+
+
+class TestLemma1:
+    def test_rejected_mvsr_schedules_had_a_version_choice(self):
+        """Lemma 1's reading: "the only reason a maximal scheduler rejects
+        an MVSR schedule is because it used the wrong version function at
+        some point."  So every MVSR schedule the oracle rejects must have
+        offered a genuine version choice (two or more realizable sources
+        for some read) — and such rejections do happen (non-OLS-ness)."""
+        rng = random.Random(0)
+        rejected_mvsr = []
+        for _ in range(150):
+            s = random_schedule(
+                rng.randint(2, 3), ["x", "y"], rng.randint(1, 3), rng
+            )
+            if is_mvsr(s) and not _oracle(s).accepts(s):
+                rejected_mvsr.append(s)
+        assert rejected_mvsr, "expected some wrong-choice rejections"
+        for s in rejected_mvsr:
+            # Some read has >= 2 realizable sources (a choice point).
+            choice_points = 0
+            for i in s.read_indices():
+                entity = s[i].entity
+                sources = {
+                    s[w].txn
+                    for w in s.writes_before(i, entity)
+                    if s[w].txn != s[i].txn
+                }
+                sources.add("T0")
+                if len(sources) >= 2:
+                    choice_points += 1
+            assert choice_points >= 1, str(s)
+
+    def test_accepts_forced_read_mvsr_schedules(self):
+        """Corollary 1: with no read-from choices, every maximal
+        scheduler accepts iff the schedule is MVSR."""
+        rng = random.Random(42)
+        checked = 0
+        for _ in range(200):
+            s = random_schedule(
+                rng.randint(2, 3), ["x", "y"], rng.randint(1, 3), rng
+            )
+            forced = all(
+                len(
+                    {
+                        s[w].txn
+                        for w in s.writes_before(i, s[i].entity)
+                        if s[w].txn != s[i].txn
+                    }
+                )
+                == 0
+                for i in s.read_indices()
+            )
+            if not forced:
+                continue
+            checked += 1
+            assert _oracle(s).accepts(s) == is_mvsr(s), str(s)
+        assert checked > 20
+
+    def test_never_accepts_non_mvsr(self):
+        rng = random.Random(1)
+        for _ in range(150):
+            s = random_schedule(3, ["x", "y"], 2, rng)
+            if _oracle(s).accepts(s):
+                assert is_mvsr(s), str(s)
+
+    def test_rejects_s1(self):
+        assert not _oracle(S1_NOT_MVSR).accepts(S1_NOT_MVSR)
+
+    def test_section4_policy_split(self):
+        """The §4 pair under the two commitment policies: the latest-first
+        maximal scheduler accepts s and must then reject s' (it commits
+        the same source at the shared prefix), and vice versa — a
+        deterministic scheduler cannot have both, because {s, s'} is not
+        OLS.  Different policies = different maximal classes (§5)."""
+        latest = lambda s: MaximalOracleScheduler(
+            s.transaction_system(), prefer_latest=True
+        )
+        oldest = lambda s: MaximalOracleScheduler(
+            s.transaction_system(), prefer_latest=False
+        )
+        assert latest(SEC4_S).accepts(SEC4_S)
+        assert not latest(SEC4_S_PRIME).accepts(SEC4_S_PRIME)
+        assert oldest(SEC4_S_PRIME).accepts(SEC4_S_PRIME)
+        assert not oldest(SEC4_S).accepts(SEC4_S)
+
+    def test_some_policy_accepts_every_small_mvsr_schedule(self):
+        """On this space, the two policies together cover MVSR — each
+        rejection is a wrong-choice rejection that the other policy's
+        class contains."""
+        rng = random.Random(2)
+        for _ in range(100):
+            s = random_schedule(3, ["x", "y"], 2, rng)
+            if not is_mvsr(s):
+                continue
+            covered = MaximalOracleScheduler(
+                s.transaction_system(), prefer_latest=True
+            ).accepts(s) or MaximalOracleScheduler(
+                s.transaction_system(), prefer_latest=False
+            ).accepts(s)
+            assert covered, str(s)
+
+
+class TestProtocol:
+    def test_version_function_validates(self):
+        s = SEC4_S
+        oracle = _oracle(s)
+        assert oracle.accepts(s)
+        oracle.version_function().validate(s)
+
+    def test_unknown_transaction_raises(self):
+        oracle = _oracle(parse_schedule("R1(x)"))
+        oracle.reset()
+        with pytest.raises(ValueError):
+            oracle.submit(parse_schedule("R2(x)")[0])
+
+    def test_profile_mismatch_raises(self):
+        oracle = _oracle(parse_schedule("R1(x) W1(y)"))
+        oracle.reset()
+        with pytest.raises(ValueError):
+            oracle.submit(parse_schedule("W1(x)")[0])
+
+    def test_rejection_midstream(self):
+        oracle = _oracle(S1_NOT_MVSR)
+        n = oracle.accepted_prefix_length(S1_NOT_MVSR)
+        assert n < len(S1_NOT_MVSR)

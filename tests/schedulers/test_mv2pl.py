@@ -1,0 +1,74 @@
+"""Two-version two-phase locking."""
+
+import random
+
+from repro.classes.mvsr import is_mvsr
+from repro.model.enumeration import random_schedule
+from repro.model.parsing import parse_schedule
+from repro.model.schedules import T_INIT
+from repro.schedulers.mv2pl import TwoVersionTwoPL
+from repro.schedulers.twopl import TwoPhaseLocking
+
+
+def _lengths(schedule):
+    return {t: len(schedule.projection(t)) for t in schedule.txn_ids}
+
+
+class TestBasics:
+    def test_accepts_serial(self):
+        s = parse_schedule("R1(x) W1(x) R2(x)")
+        assert TwoVersionTwoPL(_lengths(s)).accepts(s)
+
+    def test_reader_not_blocked_by_writer(self):
+        # T1 writes x (uncommitted version); T2 still reads committed x0
+        # and both certify fine: the parallelism 2PL cannot offer.
+        s = parse_schedule("W1(x) R2(x) R2(y) R1(y)")
+        assert TwoVersionTwoPL(_lengths(s)).accepts(s)
+        assert not TwoPhaseLocking(_lengths(s)).accepts(s)
+
+    def test_reader_gets_committed_version(self):
+        s = parse_schedule("W1(x) R2(x) R2(y) R1(y)")
+        sched = TwoVersionTwoPL(_lengths(s))
+        assert sched.accepts(s)
+        assert sched.version_function()[1] == T_INIT
+
+    def test_write_write_conflict_rejected(self):
+        s = parse_schedule("W1(x) W2(x) R1(y) R2(y)")
+        assert not TwoVersionTwoPL(_lengths(s)).accepts(s)
+
+    def test_certify_blocked_by_live_reader(self):
+        # T2 reads x before T1 (writer of x) finishes: certification of
+        # T1 fails while T2 is still active.
+        s = parse_schedule("W1(x) R2(x) W1(y) R2(y)")
+        assert not TwoVersionTwoPL(_lengths(s)).accepts(s)
+
+    def test_own_uncommitted_read(self):
+        s = parse_schedule("W1(x) R1(x)")
+        sched = TwoVersionTwoPL(_lengths(s))
+        assert sched.accepts(s)
+        assert sched.version_function()[1] == 0
+
+
+class TestCorrectness:
+    def test_accepted_schedules_are_mvsr(self):
+        rng = random.Random(0)
+        accepted = 0
+        for _ in range(250):
+            s = random_schedule(
+                rng.randint(2, 3), ["x", "y"], rng.randint(1, 3), rng
+            )
+            sched = TwoVersionTwoPL(_lengths(s))
+            if sched.accepts(s):
+                accepted += 1
+                assert is_mvsr(s), str(s)
+                sched.version_function().validate(s)
+        assert accepted > 40
+
+    def test_accepts_more_than_2pl(self):
+        rng = random.Random(1)
+        mv = sv = 0
+        for _ in range(200):
+            s = random_schedule(3, ["x", "y"], 2, rng)
+            mv += TwoVersionTwoPL(_lengths(s)).accepts(s)
+            sv += TwoPhaseLocking(_lengths(s)).accepts(s)
+        assert mv > sv

@@ -1,0 +1,103 @@
+"""The MVCG-based schedulers: clairvoyant versus eager."""
+
+import random
+
+from repro.classes.mvcsr import is_mvcsr
+from repro.classes.mvsr import is_mvsr
+from repro.classes.serial import serial_schedule_for
+from repro.model.enumeration import random_schedule
+from repro.model.parsing import parse_schedule
+from repro.model.readfrom import view_equivalent
+from repro.schedulers.mvcg import EagerMVCGScheduler, MVCGScheduler
+
+from tests.helpers import SEC4_S, SEC4_S_PRIME
+
+
+class TestClairvoyantMVCG:
+    def test_recognizes_exactly_mvcsr(self):
+        rng = random.Random(0)
+        for _ in range(250):
+            s = random_schedule(
+                rng.randint(2, 4), ["x", "y"], rng.randint(1, 3), rng
+            )
+            assert MVCGScheduler().accepts(s) == is_mvcsr(s), str(s)
+
+    def test_end_of_stream_version_function_serializes(self):
+        rng = random.Random(1)
+        checked = 0
+        for _ in range(100):
+            s = random_schedule(3, ["x", "y"], 2, rng)
+            sched = MVCGScheduler()
+            if not sched.accepts(s):
+                continue
+            vf = sched.version_function()
+            vf.validate(s)
+            order = [
+                t
+                for t in sched._graph.topological_sort()
+                if t in s.txn_ids
+            ]
+            r = serial_schedule_for(s, order)
+            assert view_equivalent(s, r, vf, None), str(s)
+            checked += 1
+        assert checked > 30
+
+    def test_accepts_both_section4_schedules(self):
+        # It recognizes all of MVCSR — possible only because its version
+        # assignment is deferred to end-of-stream (not an on-line
+        # scheduler); §4 shows no on-line scheduler can do this.
+        assert MVCGScheduler().accepts(SEC4_S)
+        assert MVCGScheduler().accepts(SEC4_S_PRIME)
+
+
+class TestEagerMVCG:
+    def test_outputs_inside_mvcsr(self):
+        rng = random.Random(2)
+        for _ in range(200):
+            s = random_schedule(3, ["x", "y"], 2, rng)
+            if EagerMVCGScheduler().accepts(s):
+                assert is_mvcsr(s), str(s)
+
+    def test_outputs_inside_mvsr_with_committed_vf(self):
+        """The eager commitments are serializing: OLS-subset behaviour."""
+        rng = random.Random(3)
+        checked = 0
+        for _ in range(200):
+            s = random_schedule(
+                rng.randint(2, 3), ["x", "y"], rng.randint(2, 3), rng
+            )
+            sched = EagerMVCGScheduler()
+            if not sched.accepts(s):
+                continue
+            vf = sched.version_function()
+            vf.validate(s)
+            assert is_mvsr(s), str(s)
+            order = [
+                t
+                for t in sched._graph.topological_sort()
+                if t in s.txn_ids
+            ]
+            r = serial_schedule_for(s, order)
+            assert view_equivalent(s, r, vf, None), str(s)
+            checked += 1
+        assert checked > 30
+
+    def test_strictly_smaller_than_mvcsr(self):
+        """The OLS gap: eager rejects some MVCSR schedules."""
+        rng = random.Random(4)
+        gap = 0
+        for _ in range(200):
+            s = random_schedule(3, ["x", "y"], 2, rng)
+            if is_mvcsr(s) and not EagerMVCGScheduler().accepts(s):
+                gap += 1
+        assert gap > 0
+
+    def test_section4_pair_split(self):
+        assert EagerMVCGScheduler().accepts(SEC4_S)
+        assert not EagerMVCGScheduler().accepts(SEC4_S_PRIME)
+
+    def test_reads_latest_version(self):
+        s = parse_schedule("W1(x) W2(x) R3(x)")
+        sched = EagerMVCGScheduler()
+        assert sched.accepts(s)
+        assert sched.version_function()[2] == 1  # position of W2(x)

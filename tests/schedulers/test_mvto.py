@@ -1,0 +1,80 @@
+"""Multiversion timestamp ordering."""
+
+import random
+
+from repro.classes.mvsr import is_mvsr
+from repro.classes.serial import serial_schedule_for
+from repro.model.enumeration import random_schedule
+from repro.model.parsing import parse_schedule
+from repro.model.readfrom import view_equivalent
+from repro.model.schedules import T_INIT
+from repro.schedulers.mvto import MVTOScheduler
+
+from tests.helpers import SEC4_S, SEC4_S_PRIME
+
+
+class TestBasics:
+    def test_accepts_serial(self):
+        assert MVTOScheduler().accepts(parse_schedule("R1(x) W1(x) R2(x)"))
+
+    def test_late_read_served_old_version(self):
+        # T1 starts first; its read of y after W2(y) gets y0.
+        s = parse_schedule("R1(x) W2(y) R1(y)")
+        sched = MVTOScheduler()
+        assert sched.accepts(s)
+        vf = sched.version_function()
+        assert vf[2] == T_INIT
+
+    def test_late_write_rejected(self):
+        # T2 (younger) reads x0; then T1 (older) writes x: invalidation.
+        s = parse_schedule("R1(x) R2(x) W1(x)")
+        assert not MVTOScheduler().accepts(s)
+
+    def test_writes_of_distinct_entities_ok(self):
+        s = parse_schedule("R1(x) R2(y) W1(y) W2(x)")
+        # W1(y): y0 read by T2 (ts 1)? T2 read y, ts(T2)=1 > ts(T1)=0:
+        # invalidation -> reject.
+        assert not MVTOScheduler().accepts(s)
+
+    def test_own_rewrite_and_reread(self):
+        s = parse_schedule("W1(x) W1(x) R1(x)")
+        sched = MVTOScheduler()
+        assert sched.accepts(s)
+        # The re-read sees the transaction's own second write.
+        assert sched.version_function()[2] == 1
+
+
+class TestCorrectness:
+    def test_accepted_schedules_are_mvsr(self):
+        rng = random.Random(0)
+        accepted = 0
+        for _ in range(250):
+            s = random_schedule(
+                rng.randint(2, 4), ["x", "y"], rng.randint(1, 3), rng
+            )
+            sched = MVTOScheduler()
+            if sched.accepts(s):
+                accepted += 1
+                assert is_mvsr(s), str(s)
+        assert accepted > 30
+
+    def test_committed_version_function_serializes(self):
+        """(s, V_mvto) is view-equivalent to the timestamp-order serial."""
+        rng = random.Random(1)
+        checked = 0
+        for _ in range(150):
+            s = random_schedule(3, ["x", "y"], 2, rng)
+            sched = MVTOScheduler()
+            if not sched.accepts(s):
+                continue
+            vf = sched.version_function()
+            vf.validate(s)
+            order = sched.serialization_order()
+            r = serial_schedule_for(s, order)
+            assert view_equivalent(s, r, vf, None), str(s)
+            checked += 1
+        assert checked > 20
+
+    def test_section4_pair_split(self):
+        assert MVTOScheduler().accepts(SEC4_S)
+        assert not MVTOScheduler().accepts(SEC4_S_PRIME)

@@ -1,0 +1,104 @@
+"""Single-version schedulers: serial, 2PL, SGT."""
+
+import random
+
+from repro.classes.csr import is_csr
+from repro.classes.serial import is_serial
+from repro.model.enumeration import random_schedule
+from repro.model.parsing import parse_schedule
+from repro.schedulers.serial_sched import SerialScheduler
+from repro.schedulers.sgt import SGTScheduler
+from repro.schedulers.twopl import TwoPhaseLocking
+
+
+def _lengths(schedule):
+    return {t: len(schedule.projection(t)) for t in schedule.txn_ids}
+
+
+class TestSerialScheduler:
+    def test_accepts_serial(self):
+        s = parse_schedule("R1(x) W1(x) R2(x)")
+        assert SerialScheduler(_lengths(s)).accepts(s)
+
+    def test_rejects_interleaving(self):
+        s = parse_schedule("R1(x) R2(x) W1(x)")
+        assert not SerialScheduler(_lengths(s)).accepts(s)
+
+    def test_matches_is_serial(self):
+        rng = random.Random(0)
+        for _ in range(60):
+            s = random_schedule(2, ["x", "y"], 2, rng)
+            assert SerialScheduler(_lengths(s)).accepts(s) == is_serial(s)
+
+    def test_dead_after_rejection(self):
+        sched = SerialScheduler({1: 2, 2: 1})
+        s = parse_schedule("R1(x) R2(x) W1(x)")
+        sched.reset()
+        assert sched.submit(s[0])
+        assert not sched.submit(s[1])
+        assert not sched.submit(s[2])  # dead: everything rejected now
+
+
+class TestTwoPhaseLocking:
+    def test_accepts_serial(self):
+        s = parse_schedule("R1(x) W1(x) R2(x)")
+        assert TwoPhaseLocking(_lengths(s)).accepts(s)
+
+    def test_write_lock_conflict(self):
+        s = parse_schedule("W1(x) W2(x) R1(y) R2(y)")
+        assert not TwoPhaseLocking(_lengths(s)).accepts(s)
+
+    def test_read_locks_shared(self):
+        s = parse_schedule("R1(x) R2(x) W1(y) W2(z)")
+        assert TwoPhaseLocking(_lengths(s)).accepts(s)
+
+    def test_upgrade_blocked_by_other_reader(self):
+        s = parse_schedule("R1(x) R2(x) W1(x) W2(x)")
+        assert not TwoPhaseLocking(_lengths(s)).accepts(s)
+
+    def test_locks_release_at_completion(self):
+        # T1 finishes, then T2 may write x.
+        s = parse_schedule("R1(x) W1(x) W2(x)")
+        assert TwoPhaseLocking(_lengths(s)).accepts(s)
+
+    def test_output_within_csr(self):
+        """[Yannakakis 81]: locking outputs only CSR schedules."""
+        rng = random.Random(1)
+        for _ in range(150):
+            s = random_schedule(3, ["x", "y"], 2, rng)
+            if TwoPhaseLocking(_lengths(s)).accepts(s):
+                assert is_csr(s), str(s)
+
+    def test_strictly_less_than_csr(self):
+        """2PL (reject semantics) misses some CSR schedules."""
+        rng = random.Random(2)
+        missed = 0
+        for _ in range(200):
+            s = random_schedule(3, ["x", "y"], 2, rng)
+            if is_csr(s) and not TwoPhaseLocking(_lengths(s)).accepts(s):
+                missed += 1
+        assert missed > 0
+
+
+class TestSGT:
+    def test_recognizes_exactly_csr(self):
+        rng = random.Random(3)
+        for _ in range(200):
+            s = random_schedule(
+                rng.randint(2, 4), ["x", "y"], rng.randint(1, 3), rng
+            )
+            assert SGTScheduler().accepts(s) == is_csr(s), str(s)
+
+    def test_rejection_is_at_first_cycle(self):
+        s = parse_schedule("R1(x) R2(y) W2(x) W1(y) R3(z)")
+        sched = SGTScheduler()
+        assert sched.accepted_prefix_length(s) == 3  # W1(y) closes the cycle
+
+    def test_accepts_more_than_2pl(self):
+        rng = random.Random(4)
+        sgt_total = twopl_total = 0
+        for _ in range(150):
+            s = random_schedule(3, ["x", "y"], 2, rng)
+            sgt_total += SGTScheduler().accepts(s)
+            twopl_total += TwoPhaseLocking(_lengths(s)).accepts(s)
+        assert sgt_total > twopl_total

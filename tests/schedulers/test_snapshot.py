@@ -1,0 +1,96 @@
+"""Snapshot isolation: the modern MVCC algorithm under the 1985 lens."""
+
+import random
+
+from repro.classes.mvsr import is_mvsr
+from repro.classes.vsr import is_vsr
+from repro.model.enumeration import random_schedule
+from repro.model.parsing import parse_schedule
+from repro.model.schedules import T_INIT
+from repro.schedulers.snapshot import (
+    SnapshotIsolationScheduler,
+    write_skew_schedule,
+)
+
+
+def _si(schedule):
+    lengths = {t: len(schedule.projection(t)) for t in schedule.txn_ids}
+    return SnapshotIsolationScheduler(lengths)
+
+
+class TestBasics:
+    def test_accepts_serial(self):
+        s = parse_schedule("R1(x) W1(x) R2(x)")
+        assert _si(s).accepts(s)
+
+    def test_snapshot_read_ignores_concurrent_commit(self):
+        # T2 starts before T1 commits, so T2's read of x sees the
+        # snapshot (initial) version even after T1 commits.
+        s = parse_schedule("R2(y) W1(x) R2(x)")
+        sched = _si(s)
+        assert sched.accepts(s)
+        assert sched.version_function()[2] == T_INIT
+
+    def test_reads_own_uncommitted_write(self):
+        s = parse_schedule("W1(x) R1(x)")
+        sched = _si(s)
+        assert sched.accepts(s)
+        assert sched.version_function()[1] == 0
+
+    def test_committed_version_visible_to_later_txn(self):
+        s = parse_schedule("W1(x) R2(x)")
+        sched = _si(s)
+        assert sched.accepts(s)
+        assert sched.version_function()[1] == 0
+
+    def test_first_committer_wins(self):
+        # Both transactions write x concurrently; the second committer
+        # (T2) must abort.
+        s = parse_schedule("W1(x) W2(x) R1(y) R2(y)")
+        assert not _si(s).accepts(s)
+
+    def test_sequential_writers_fine(self):
+        s = parse_schedule("W1(x) W2(x)")
+        assert _si(s).accepts(s)
+
+
+class TestWriteSkew:
+    """SI is *not* a multiversion scheduler in the paper's sense."""
+
+    def test_write_skew_accepted_by_si(self):
+        s = write_skew_schedule()
+        assert _si(s).accepts(s)
+
+    def test_write_skew_is_not_mvsr(self):
+        s = write_skew_schedule()
+        assert not is_mvsr(s)
+        assert not is_vsr(s)
+
+    def test_anomaly_rate_is_nonzero_but_bounded(self):
+        """SI accepts some non-MVSR schedules (anomalies) — but far
+        fewer than it accepts overall."""
+        rng = random.Random(0)
+        accepted = anomalies = 0
+        for _ in range(300):
+            s = random_schedule(
+                rng.randint(2, 3), ["x", "y"], rng.randint(1, 3), rng
+            )
+            if _si(s).accepts(s):
+                accepted += 1
+                if not is_mvsr(s):
+                    anomalies += 1
+        assert accepted > 50
+        assert 0 < anomalies < accepted / 2
+
+
+class TestVersionFunction:
+    def test_vf_validates_when_accepted(self):
+        rng = random.Random(1)
+        checked = 0
+        for _ in range(100):
+            s = random_schedule(2, ["x", "y"], 3, rng)
+            sched = _si(s)
+            if sched.accepts(s):
+                sched.version_function().validate(s)
+                checked += 1
+        assert checked > 30

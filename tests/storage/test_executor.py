@@ -1,0 +1,129 @@
+"""Schedule execution: Herbrand semantics validate the theory machinery."""
+
+import random
+
+from repro.classes.mvcsr import mvcsr_serialization, mvcsr_version_function
+from repro.classes.mvsr import find_mvsr_serialization
+from repro.model.enumeration import random_schedule
+from repro.model.parsing import parse_schedule
+from repro.model.version_functions import VersionFunction
+from repro.storage.executor import (
+    execute,
+    execute_serial,
+    herbrand_value,
+    views_match,
+)
+from repro.storage.svstore import SingleVersionStore
+
+
+class TestExecution:
+    def test_herbrand_read_values(self):
+        s = parse_schedule("W1(x) R2(x)")
+        result = execute(s)
+        assert result.read_values[1] == herbrand_value(1, 0, [])
+
+    def test_version_function_serves_old_version(self):
+        s = parse_schedule("W1(x) W2(x) R3(x)")
+        old = execute(s, VersionFunction({2: 0}))
+        new = execute(s)
+        assert old.read_values[2] == herbrand_value(1, 0, [])
+        assert new.read_values[2] == herbrand_value(2, 0, [])
+
+    def test_program_execution(self):
+        s = parse_schedule("R1(x) W1(x)")
+        result = execute(
+            s,
+            programs={1: lambda k, reads: reads[0] + 1},
+            initial={"x": 10},
+        )
+        assert result.final_state["x"] == 11
+
+    def test_views_and_final_state(self):
+        s = parse_schedule("W1(x) R2(x) W2(y)")
+        result = execute(s)
+        assert result.view(2) == (herbrand_value(1, 0, []),)
+        assert result.final_state["y"] == herbrand_value(
+            2, 0, [herbrand_value(1, 0, [])]
+        )
+
+    def test_store_keeps_all_versions(self):
+        s = parse_schedule("W1(x) W2(x) W3(x)")
+        result = execute(s)
+        assert result.store.version_count() == 4
+
+
+class TestSemanticTheorems:
+    """The paper's equivalences, stated over executed values."""
+
+    def test_mvsr_witness_execution_matches_serial(self):
+        """(s, V) view-equivalent to (r, V_r) means: every transaction
+        reads exactly the same values in both executions.
+
+        Restricted to the standard model (no transaction writes an entity
+        twice): the paper's READ-FROM relation is transaction-granular,
+        so with repeated writes a view-equivalent witness may serve a
+        *different write* of the same source transaction.
+        """
+        from repro.classes.hierarchy import writes_entities_once
+
+        rng = random.Random(0)
+        checked = 0
+        for _ in range(150):
+            s = random_schedule(3, ["x", "y"], 2, rng)
+            if not writes_entities_once(s):
+                continue
+            found = find_mvsr_serialization(s)
+            if found is None:
+                continue
+            order, vf = found
+            multi = execute(s, vf)
+            serial = execute_serial(s, order)
+            assert views_match(multi, serial), str(s)
+            checked += 1
+        assert checked > 30
+
+    def test_theorem3_version_function_execution(self):
+        """Theorem 3 constructively: the MVCG version function makes the
+        execution agree with the topological serial execution."""
+        from repro.classes.hierarchy import writes_entities_once
+
+        rng = random.Random(1)
+        checked = 0
+        for _ in range(150):
+            s = random_schedule(3, ["x", "y"], 2, rng)
+            if not writes_entities_once(s):
+                continue
+            vf = mvcsr_version_function(s)
+            if vf is None:
+                continue
+            order = mvcsr_serialization(s)
+            assert views_match(execute(s, vf), execute_serial(s, order))
+            checked += 1
+        assert checked > 30
+
+    def test_single_version_store_matches_standard_vf(self):
+        """Executing with the standard version function equals a plain
+        single-version store run."""
+        rng = random.Random(2)
+        for _ in range(60):
+            s = random_schedule(3, ["x", "y"], 2, rng)
+            multi = execute(s)
+            sv = SingleVersionStore()
+            reads: dict[int, object] = {}
+            reads_so_far: dict[object, list] = {}
+            counters: dict[object, int] = {}
+            for i, step in enumerate(s):
+                if step.is_read:
+                    value = sv.read(step.entity)
+                    reads[i] = value
+                    reads_so_far.setdefault(step.txn, []).append(value)
+                else:
+                    k = counters.get(step.txn, 0)
+                    counters[step.txn] = k + 1
+                    value = herbrand_value(
+                        step.txn, k, reads_so_far.get(step.txn, [])
+                    )
+                    sv.write(step.entity, step.txn, value, i)
+            assert reads == multi.read_values
+            for entity, value in sv.final_state().items():
+                assert multi.final_state[entity] == value

@@ -1,0 +1,61 @@
+"""The multiversion store."""
+
+import pytest
+
+from repro.model.schedules import T_INIT
+from repro.storage.mvstore import MultiversionStore
+
+
+class TestVersionChains:
+    def test_initial_version(self):
+        store = MultiversionStore()
+        v = store.latest("x")
+        assert v.is_initial and v.writer == T_INIT
+        assert v.value == ("init", "x")
+
+    def test_custom_initial_values(self):
+        store = MultiversionStore({"x": 42})
+        assert store.latest("x").value == 42
+
+    def test_install_appends(self):
+        store = MultiversionStore()
+        store.install("x", 1, "v1", position=0)
+        store.install("x", 2, "v2", position=3)
+        chain = store.versions("x")
+        assert [v.value for v in chain] == [("init", "x"), "v1", "v2"]
+        assert store.latest("x").value == "v2"
+
+    def test_at_position(self):
+        store = MultiversionStore()
+        store.install("x", 1, "v1", position=0)
+        assert store.at_position("x", 0).value == "v1"
+        assert store.at_position("x", None).is_initial
+
+    def test_at_position_missing_raises(self):
+        store = MultiversionStore()
+        with pytest.raises(KeyError):
+            store.at_position("x", 5)
+
+    def test_latest_by_writer(self):
+        store = MultiversionStore()
+        store.install("x", 1, "a", 0)
+        store.install("x", 2, "b", 1)
+        store.install("x", 1, "c", 2)
+        assert store.latest_by("x", 1).value == "c"
+        with pytest.raises(KeyError):
+            store.latest_by("x", 9)
+
+    def test_old_versions_remain_readable(self):
+        """The defining property of the multiversion store."""
+        store = MultiversionStore()
+        store.install("x", 1, "old", 0)
+        store.install("x", 2, "new", 1)
+        assert store.at_position("x", 0).value == "old"
+
+    def test_final_state_and_counts(self):
+        store = MultiversionStore()
+        store.install("x", 1, "a", 0)
+        store.install("y", 2, "b", 1)
+        assert store.final_state() == {"x": "a", "y": "b"}
+        assert store.version_count() == 4  # two initials + two installed
+        assert set(store.entities()) == {"x", "y"}

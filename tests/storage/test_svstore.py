@@ -1,0 +1,30 @@
+"""The single-version store."""
+
+from repro.storage.svstore import SingleVersionStore, WriteRecord
+
+
+class TestSingleVersionStore:
+    def test_initial_values(self):
+        store = SingleVersionStore({"x": 5})
+        assert store.read("x") == 5
+
+    def test_unknown_entity_reads_symbolic_initial(self):
+        store = SingleVersionStore()
+        assert store.read("y") == ("init", "y")
+
+    def test_write_overwrites_in_place(self):
+        store = SingleVersionStore({"x": 1})
+        store.write("x", 1, 2, position=0)
+        store.write("x", 2, 3, position=1)
+        assert store.read("x") == 3
+        # Unlike the multiversion store, the old value is gone.
+        assert store.final_state() == {"x": 3}
+
+    def test_log_records_every_write(self):
+        store = SingleVersionStore()
+        store.write("x", 1, "a", 0)
+        store.write("y", 2, "b", 3)
+        assert store.log == [
+            WriteRecord("x", 1, "a", 0),
+            WriteRecord("y", 2, "b", 3),
+        ]

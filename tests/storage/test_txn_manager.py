@@ -1,0 +1,37 @@
+"""The transaction manager: scheduler + store integration."""
+
+from repro.model.parsing import parse_schedule
+from repro.schedulers.mvto import MVTOScheduler
+from repro.schedulers.sgt import SGTScheduler
+from repro.storage.txn_manager import TransactionManager
+
+
+class TestRun:
+    def test_accepted_schedule_executes(self):
+        s = parse_schedule("R1(x) W1(x) R2(x)")
+        tm = TransactionManager(
+            MVTOScheduler(),
+            programs={1: lambda k, reads: reads[0] + 1},
+            initial={"x": 1},
+        )
+        outcome = tm.run(s)
+        assert outcome.accepted
+        assert outcome.final_state["x"] == 2
+        assert outcome.scheduler_name == "mvto"
+
+    def test_rejected_schedule_does_not_execute(self):
+        s = parse_schedule("R1(x) R2(x) W1(x) W2(x)")
+        tm = TransactionManager(SGTScheduler())
+        outcome = tm.run(s)
+        assert not outcome.accepted
+        assert outcome.execution is None
+        assert outcome.final_state is None
+        assert outcome.accepted_steps < len(s)
+
+    def test_multiversion_reads_follow_scheduler_assignment(self):
+        # MVTO serves T1's late read of y the initial version.
+        s = parse_schedule("R1(x) W2(y) R1(y) W1(x)")
+        tm = TransactionManager(MVTOScheduler(), initial={"x": 0, "y": 0})
+        outcome = tm.run(s)
+        assert outcome.accepted
+        assert outcome.execution.read_values[2] == 0  # initial y, not W2's

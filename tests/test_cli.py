@@ -1,0 +1,79 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_cnf, main
+
+
+class TestClassify:
+    def test_classify_output(self, capsys):
+        assert main(["classify", "RA(x) WA(x) RB(x)"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1 region: serial" in out
+        assert "mvsr: True" in out
+
+    def test_bad_schedule_is_usage_error(self, capsys):
+        assert main(["classify", "garbage"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCheck:
+    def test_positive(self, capsys):
+        assert main(["check", "csr", "R1(x) W1(x) R2(x)"]) == 0
+        assert "csr: True" in capsys.readouterr().out
+
+    def test_negative_exit_code(self, capsys):
+        assert main(["check", "csr", "R1(x) R2(x) W1(x) W2(x)"]) == 1
+        assert "csr: False" in capsys.readouterr().out
+
+
+class TestOLS:
+    def test_section4_pair(self, capsys):
+        s = "RA(x) WA(x) RB(x) RA(y) WA(y) RB(y) WB(y)"
+        sp = "RA(x) WA(x) RB(x) RB(y) WB(y) RA(y) WA(y)"
+        assert main(["ols", s, sp]) == 1
+        assert "False" in capsys.readouterr().out
+
+    def test_singleton(self, capsys):
+        assert main(["ols", "R1(x) W1(x)"]) == 0
+
+
+class TestSchedulers:
+    def test_lists_all_schedulers(self, capsys):
+        assert main(["schedulers", "W1(x) R2(x) R2(y) R1(y)"]) == 0
+        out = capsys.readouterr().out
+        for name in ("2pl", "sgt", "mvto", "mvcg", "polygraph", "maximal"):
+            assert name in out
+
+
+class TestFigure1:
+    def test_all_ok(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("(ok)") == 6
+        assert "MISMATCH" not in out
+
+
+class TestCensus:
+    def test_runs(self, capsys):
+        assert main(
+            ["census", "--samples", "20", "--txns", "2", "--steps", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "serial" in out and "mvcsr" in out
+
+
+class TestSat:
+    def test_parse_cnf(self):
+        f = _parse_cnf("a|b & ~a|~b")
+        assert len(f) == 2
+        assert f.clauses[0] == (("a", True), ("b", True))
+        assert f.clauses[1] == (("a", False), ("b", False))
+
+    def test_sat(self, capsys):
+        assert main(["sat", "a|b & ~a|~b"]) == 0
+        assert "SAT" in capsys.readouterr().out
+
+    def test_unsat_exit_code(self, capsys):
+        assert main(["sat", "a & ~a"]) == 1
+        assert "UNSAT" in capsys.readouterr().out

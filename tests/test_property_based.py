@@ -1,0 +1,147 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Schedules are generated structurally — random transaction systems and
+random shuffles — so hypothesis explores the space the paper's theorems
+quantify over, with shrinking on failure.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.classes.csr import is_csr
+from repro.classes.mvcsr import (
+    is_mvcsr,
+    mv_conflict_equivalent,
+    mvcsr_serialization,
+    neighbours_by_swap,
+)
+from repro.classes.mvsr import is_mvsr, is_mvsr_fixed
+from repro.classes.serial import is_serial, serial_schedule_for
+from repro.classes.vsr import is_vsr
+from repro.graphs.conflict_graph import build_mv_conflict_graph
+from repro.model.schedules import Schedule
+from repro.model.steps import read, write
+from repro.model.version_functions import VersionFunction
+from repro.ols.decision import is_ols
+from repro.storage.executor import execute, execute_serial, views_match
+
+ENTITIES = ("x", "y")
+
+
+@st.composite
+def schedules(draw, max_txns=3, max_steps=3):
+    """A random schedule: a shuffle of a random transaction system."""
+    n_txns = draw(st.integers(2, max_txns))
+    bodies = []
+    for t in range(1, n_txns + 1):
+        n = draw(st.integers(1, max_steps))
+        steps = []
+        for _ in range(n):
+            entity = draw(st.sampled_from(ENTITIES))
+            if draw(st.booleans()):
+                steps.append(read(t, entity))
+            else:
+                steps.append(write(t, entity))
+        bodies.append(steps)
+    # Shuffle by repeatedly drawing which transaction goes next.
+    cursors = [0] * len(bodies)
+    merged = []
+    while any(c < len(b) for c, b in zip(cursors, bodies)):
+        live = [k for k, b in enumerate(bodies) if cursors[k] < len(b)]
+        k = draw(st.sampled_from(live))
+        merged.append(bodies[k][cursors[k]])
+        cursors[k] += 1
+    return Schedule(tuple(merged))
+
+
+@settings(max_examples=120, deadline=None)
+@given(schedules())
+def test_theorem1_matches_definition(s):
+    """MVCG acyclicity == existence of an equivalent serial schedule."""
+    if is_mvcsr(s):
+        order = mvcsr_serialization(s)
+        serial = serial_schedule_for(s, order)
+        assert mv_conflict_equivalent(s, serial)
+    else:
+        assert build_mv_conflict_graph(s).has_cycle()
+
+
+@settings(max_examples=120, deadline=None)
+@given(schedules())
+def test_inclusion_chain(s):
+    """serial ⊆ CSR ⊆ VSR∩MVCSR; VSR∪MVCSR ⊆ MVSR (Theorem 3)."""
+    if is_serial(s):
+        assert is_csr(s)
+    if is_csr(s):
+        assert is_vsr(s) and is_mvcsr(s)
+    if is_vsr(s) or is_mvcsr(s):
+        assert is_mvsr(s)
+
+
+@settings(max_examples=80, deadline=None)
+@given(schedules())
+def test_swap_neighbours_of_non_mvcsr_stay_non_mvcsr(s):
+    """One direction of Theorem 2's machinery: if ``s ~ s'`` (one legal
+    swap) and ``s'`` is MVCSR then so is ``s`` (``s`` reaches a serial
+    schedule through ``s'``).  Contrapositive: neighbours of a non-MVCSR
+    schedule are non-MVCSR.  The converse direction is *false* — a swap
+    may create a new read-before-write conflict — so only this direction
+    is asserted."""
+    if is_mvcsr(s):
+        return
+    for neighbour in neighbours_by_swap(s)[:6]:
+        assert not is_mvcsr(neighbour), str(neighbour)
+
+
+@settings(max_examples=80, deadline=None)
+@given(schedules())
+def test_standard_version_function_legal(s):
+    vf = VersionFunction.standard(s)
+    vf.validate(s)
+    assert vf.is_total_on(s)
+
+
+@settings(max_examples=60, deadline=None)
+@given(schedules())
+def test_mvsr_witness_semantics(s):
+    """Any MVSR witness yields value-identical views vs its serial run
+    (in the standard single-write-per-entity model)."""
+    from repro.classes.hierarchy import writes_entities_once
+    from repro.classes.mvsr import find_mvsr_serialization
+
+    if not writes_entities_once(s):
+        return
+    found = find_mvsr_serialization(s)
+    if found is None:
+        return
+    order, vf = found
+    assert views_match(execute(s, vf), execute_serial(s, order))
+
+
+@settings(max_examples=40, deadline=None)
+@given(schedules(max_txns=2))
+def test_schedule_is_ols_with_itself(s):
+    """{s, s} is OLS iff s is MVSR."""
+    assert is_ols([s, s]) == is_mvsr(s)
+
+
+@settings(max_examples=60, deadline=None)
+@given(schedules())
+def test_fixed_decider_monotone(s):
+    """Pinning sources can only shrink the witness space."""
+    if not is_mvsr(s):
+        assert not is_mvsr_fixed(s, {})
+        return
+    assert is_mvsr_fixed(s, {})
+
+
+@settings(max_examples=60, deadline=None)
+@given(schedules(), st.integers(0, 10))
+def test_prefix_closure_of_recognized_classes(s, k):
+    """CSR and MVCSR are prefix-closed (what makes SGT/MVCG testers
+    correct as online schedulers)."""
+    prefix = s.prefix(min(k, len(s)))
+    if is_csr(s):
+        assert is_csr(prefix)
+    if is_mvcsr(s):
+        assert is_mvcsr(prefix)

@@ -1,0 +1,113 @@
+"""Additional hypothesis properties: parser, SAT substrate, polygraphs."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.graphs.polygraph import Polygraph
+from repro.model.parsing import format_schedule, parse_schedule
+from repro.model.schedules import Schedule
+from repro.model.steps import read, write
+from repro.reductions.polygraph_sat import polygraph_is_acyclic_sat
+from repro.sat.brute import solve_bruteforce
+from repro.sat.cnf import CNF
+from repro.sat.solver import solve
+from repro.sat.transforms import to_3sat, to_monotone
+
+
+# --- parser round trips -------------------------------------------------
+
+txn_ids = st.one_of(st.integers(1, 9), st.sampled_from("ABCD"))
+entities = st.sampled_from(["x", "y", "z", "acct0", "b'"])
+
+
+@st.composite
+def steps(draw):
+    ctor = read if draw(st.booleans()) else write
+    return ctor(draw(txn_ids), draw(entities))
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(steps(), max_size=12))
+def test_parse_format_roundtrip(step_list):
+    schedule = Schedule(tuple(step_list))
+    assert parse_schedule(format_schedule(schedule)) == schedule
+
+
+# --- SAT substrate -------------------------------------------------------
+
+variables = st.sampled_from(["p", "q", "r", "s"])
+literals = st.tuples(variables, st.booleans())
+clauses = st.lists(literals, min_size=1, max_size=3).map(tuple)
+formulas = st.lists(clauses, min_size=1, max_size=6).map(CNF)
+
+
+@settings(max_examples=200, deadline=None)
+@given(formulas)
+def test_solver_agrees_with_bruteforce(formula):
+    brute = solve_bruteforce(formula)
+    model = solve(formula)
+    assert (model is None) == (brute is None)
+    if model is not None:
+        full = dict(model)
+        for v in formula.variables:
+            full.setdefault(v, False)
+        assert formula.evaluate(full)
+
+
+@settings(max_examples=150, deadline=None)
+@given(formulas)
+def test_transforms_preserve_satisfiability(formula):
+    three = to_3sat(formula)
+    mono = to_monotone(three)
+    original_sat = solve_bruteforce(formula) is not None
+    assert (solve(three) is not None) == original_sat
+    assert (solve(mono) is not None) == original_sat
+
+
+# --- polygraphs ------------------------------------------------------------
+
+
+@st.composite
+def polygraphs(draw):
+    n = draw(st.integers(3, 6))
+    nodes = list(range(n))
+    poly = Polygraph.of(nodes)
+    # Forward arcs along a drawn permutation keep (N, A) acyclic.
+    perm = draw(st.permutations(nodes))
+    rank = {v: i for i, v in enumerate(perm)}
+    for _ in range(draw(st.integers(0, 5))):
+        u = draw(st.sampled_from(nodes))
+        v = draw(st.sampled_from(nodes))
+        if u == v:
+            continue
+        if rank[u] > rank[v]:
+            u, v = v, u
+        poly.add_arc(u, v)
+    for _ in range(draw(st.integers(0, 3))):
+        arcs = sorted(poly.arcs)
+        if not arcs:
+            break
+        i, j = draw(st.sampled_from(arcs))
+        k = draw(st.sampled_from(nodes))
+        if k not in (i, j):
+            poly.add_choice(j, k, i)
+    return poly
+
+
+@settings(max_examples=150, deadline=None)
+@given(polygraphs())
+def test_polygraph_deciders_agree(poly):
+    backtrack = poly.acyclic_selection()
+    assert (backtrack is not None) == poly.is_acyclic_bruteforce()
+    assert (backtrack is not None) == polygraph_is_acyclic_sat(poly)
+    if backtrack is not None:
+        assert poly.compatible_digraph(backtrack).is_acyclic()
+
+
+@settings(max_examples=100, deadline=None)
+@given(polygraphs())
+def test_property_a_normalization(poly):
+    fixed = poly.ensure_property_a()
+    assert fixed.has_property_a()
+    assert fixed.is_acyclic() == poly.is_acyclic()
+    fixed.validate()

@@ -1,0 +1,85 @@
+"""The banking workload: serializability protects the invariant."""
+
+import random
+
+from repro.classes.vsr import is_vsr
+from repro.model.enumeration import random_interleaving
+from repro.storage.executor import execute
+from repro.workloads.bank import (
+    BankWorkload,
+    bank_programs,
+    total_balance,
+    transfer_transaction,
+)
+
+
+class TestTransfer:
+    def test_shape(self):
+        t = transfer_transaction(1, "a", "b")
+        assert str(t) == "R1(a) R1(b) W1(a) W1(b)"
+
+    def test_programs_move_money(self):
+        workload = BankWorkload(n_accounts=2, n_transfers=1, seed=1)
+        system, amounts = workload.system()
+        programs = bank_programs(amounts)
+        schedule = workload.schedule(system)
+        result = execute(
+            schedule, None, programs, workload.initial_state()
+        )
+        assert workload.invariant_holds(result.final_state)
+
+
+class TestInvariant:
+    def test_serializable_schedules_preserve_total(self):
+        import itertools
+
+        from repro.model.schedules import Schedule
+
+        workload = BankWorkload(n_accounts=4, n_transfers=3, seed=7)
+        system, amounts = workload.system()
+        programs = bank_programs(amounts)
+        # Every serial execution preserves the invariant...
+        for perm in itertools.permutations(system.transactions):
+            s = Schedule.serial(list(perm))
+            result = execute(s, None, programs, workload.initial_state())
+            assert workload.invariant_holds(result.final_state)
+        # ...and so does every serializable interleaving found by search.
+        rng = random.Random(0)
+        checked = 0
+        for _ in range(300):
+            s = random_interleaving(system, rng)
+            if not is_vsr(s):
+                continue
+            result = execute(s, None, programs, workload.initial_state())
+            assert workload.invariant_holds(result.final_state), str(s)
+            checked += 1
+        assert checked > 0
+
+    def test_some_non_serializable_schedule_breaks_total(self):
+        """The lost-update anomaly, concretely: two transfers touching the
+        same accounts interleaved R-R-W-W destroy money."""
+        workload = BankWorkload(n_accounts=2, n_transfers=2, seed=3)
+        system, amounts = workload.system()
+        programs = bank_programs(amounts)
+        rng = random.Random(1)
+        broke = False
+        for _ in range(300):
+            s = random_interleaving(system, rng)
+            result = execute(s, None, programs, workload.initial_state())
+            if not workload.invariant_holds(result.final_state):
+                broke = True
+                assert not is_vsr(s), str(s)  # only anomalies break it
+        assert broke
+
+    def test_total_balance(self):
+        assert total_balance({"a": 3, "b": 4}) == 7
+
+    def test_hot_fraction_concentrates(self):
+        hot = BankWorkload(
+            n_accounts=8, n_transfers=40, hot_fraction=1.0, seed=5
+        )
+        system, _ = hot.system()
+        touched = set()
+        for t in system:
+            touched |= t.entities
+        assert touched <= set(hot.accounts[:2])

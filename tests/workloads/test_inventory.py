@@ -1,0 +1,65 @@
+"""The inventory workload."""
+
+import random
+
+from repro.classes.vsr import is_vsr
+from repro.model.enumeration import random_interleaving
+from repro.storage.executor import execute
+from repro.workloads.inventory import (
+    LEDGER,
+    InventoryWorkload,
+    order_program,
+    order_transaction,
+)
+
+
+class TestOrders:
+    def test_shape(self):
+        t = order_transaction(1, "stock0")
+        assert str(t) == "R1(stock0) W1(stock0) R1(shipped) W1(shipped)"
+
+    def test_program_moves_quantity(self):
+        workload = InventoryWorkload(n_warehouses=2, n_orders=1, seed=0)
+        system, programs = workload.system()
+        s = workload.schedule(system)
+        result = execute(s, None, programs, workload.initial_state())
+        assert workload.invariant_holds(result.final_state)
+        assert result.final_state[LEDGER] > 0
+
+
+class TestInvariant:
+    def test_serializable_preserves_reconciliation(self):
+        import itertools
+
+        from repro.model.schedules import Schedule
+
+        workload = InventoryWorkload(n_warehouses=2, n_orders=3, seed=1)
+        system, programs = workload.system()
+        for perm in itertools.permutations(system.transactions):
+            s = Schedule.serial(list(perm))
+            result = execute(s, None, programs, workload.initial_state())
+            assert workload.invariant_holds(result.final_state)
+        rng = random.Random(2)
+        checked = 0
+        for _ in range(300):
+            s = random_interleaving(system, rng)
+            if not is_vsr(s):
+                continue
+            result = execute(s, None, programs, workload.initial_state())
+            assert workload.invariant_holds(result.final_state), str(s)
+            checked += 1
+        assert checked > 0
+
+    def test_ledger_contention_breaks_reconciliation(self):
+        """Orders race on the shipped ledger: lost updates lose stock."""
+        workload = InventoryWorkload(n_warehouses=2, n_orders=2, seed=3)
+        system, programs = workload.system()
+        rng = random.Random(4)
+        broke = False
+        for _ in range(300):
+            s = random_interleaving(system, rng)
+            result = execute(s, None, programs, workload.initial_state())
+            if not workload.invariant_holds(result.final_state):
+                broke = True
+                assert not is_vsr(s), str(s)
+        assert broke

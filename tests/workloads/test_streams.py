@@ -1,0 +1,37 @@
+"""Schedule streams."""
+
+from repro.workloads.streams import schedule_stream
+
+
+class TestStream:
+    def test_count_and_shape(self):
+        schedules = list(schedule_stream(10, 3, ["x", "y"], 2, seed=0))
+        assert len(schedules) == 10
+        for s in schedules:
+            assert len(s) == 6
+            assert len(s.txn_ids) == 3
+
+    def test_reproducible(self):
+        a = [str(s) for s in schedule_stream(5, 2, ["x"], 2, seed=9)]
+        b = [str(s) for s in schedule_stream(5, 2, ["x"], 2, seed=9)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = [str(s) for s in schedule_stream(5, 3, ["x", "y"], 3, seed=1)]
+        b = [str(s) for s in schedule_stream(5, 3, ["x", "y"], 3, seed=2)]
+        assert a != b
+
+    def test_skew_affects_entity_mix(self):
+        entities = [f"e{k}" for k in range(8)]
+        flat = list(schedule_stream(20, 3, entities, 3, seed=3))
+        skewed = list(
+            schedule_stream(20, 3, entities, 3, seed=3, zipf_skew=2.5)
+        )
+        def hot_share(schedules):
+            total = hot = 0
+            for s in schedules:
+                for step in s:
+                    total += 1
+                    hot += step.entity == "e0"
+            return hot / total
+        assert hot_share(skewed) > hot_share(flat)
