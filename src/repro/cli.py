@@ -8,6 +8,7 @@
     python -m repro figure1
     python -m repro census --samples 200 --txns 3 --steps 2
     python -m repro sat "a|b & ~a|~b"
+    python -m repro engine --workload bank --scheduler mvto --txns 200
 
 Output goes to stdout; exit status is 0 on success, 1 on a negative
 decision (not in class / not OLS / unsatisfiable), 2 on usage errors.
@@ -142,6 +143,68 @@ def cmd_census(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_engine(args: argparse.Namespace) -> int:
+    from repro.engine import (
+        SCHEDULER_FACTORIES,
+        ConcurrentDriver,
+        OnlineEngine,
+        RetryPolicy,
+        scheduler_factory,
+    )
+    from repro.workloads.bank import BankWorkload
+    from repro.workloads.inventory import InventoryWorkload
+
+    def run_one(name: str):
+        if args.workload == "bank":
+            workload = BankWorkload(
+                n_accounts=args.entities,
+                hot_fraction=args.hot_fraction,
+                seed=args.seed,
+            )
+            stream = workload.transaction_stream(
+                args.txns, audit_every=args.audit_every
+            )
+        else:
+            workload = InventoryWorkload(
+                n_warehouses=args.entities, seed=args.seed
+            )
+            stream = workload.transaction_stream(args.txns)
+        engine = OnlineEngine(
+            scheduler_factory(name),
+            initial=workload.initial_state(),
+            n_shards=args.shards,
+            gc_enabled=not args.no_gc,
+            gc_every_commits=args.gc_every,
+            epoch_max_steps=args.epoch_steps,
+        )
+        driver = ConcurrentDriver(
+            engine,
+            stream,
+            n_sessions=args.sessions,
+            retry=RetryPolicy(max_attempts=args.max_retries),
+            seed=args.seed,
+        )
+        metrics = driver.run()
+        ok = workload.invariant_holds(engine.store.final_state())
+        return metrics, ok
+
+    names = (
+        sorted(SCHEDULER_FACTORIES)
+        if args.scheduler == "all"
+        else [args.scheduler]
+    )
+    all_ok = True
+    for name in names:
+        metrics, ok = run_one(name)
+        all_ok = all_ok and ok
+        print(f"== {name} on {args.workload} "
+              f"({args.txns} txns, {args.sessions} sessions, "
+              f"gc {'off' if args.no_gc else 'on'}) ==")
+        print(metrics.report())
+        print(f"invariant     {'ok' if ok else 'VIOLATED'}\n")
+    return 0 if all_ok else 1
+
+
 def cmd_sat(args: argparse.Namespace) -> int:
     formula = _parse_cnf(args.formula)
     model = solve(formula)
@@ -199,6 +262,32 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sat", help="solve CNF text like 'a|b & ~a|~b'")
     p.add_argument("formula")
     p.set_defaults(func=cmd_sat)
+
+    p = sub.add_parser(
+        "engine",
+        help="run a transaction stream through the online engine",
+    )
+    p.add_argument("--workload", choices=["bank", "inventory"], default="bank")
+    p.add_argument(
+        "--scheduler",
+        choices=["mvto", "2v2pl", "2pl", "sgt", "si", "all"],
+        default="mvto",
+    )
+    p.add_argument("--txns", type=int, default=200)
+    p.add_argument("--sessions", type=int, default=4)
+    p.add_argument("--entities", type=int, default=8,
+                   help="accounts / warehouses")
+    p.add_argument("--hot-fraction", type=float, default=0.5)
+    p.add_argument("--audit-every", type=int, default=0,
+                   help="bank only: every k-th transaction is an audit")
+    p.add_argument("--shards", type=int, default=8)
+    p.add_argument("--no-gc", action="store_true")
+    p.add_argument("--gc-every", type=int, default=32,
+                   help="collect every N commits")
+    p.add_argument("--epoch-steps", type=int, default=256)
+    p.add_argument("--max-retries", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_engine)
 
     return parser
 

@@ -1,0 +1,463 @@
+"""Online transaction engine: open-ended streams over paper schedulers.
+
+The paper's schedulers are *testers*: one rejected step kills the whole
+schedule (:class:`repro.storage.txn_manager.TransactionManager` reproduces
+exactly that).  Real systems instead abort the offending transaction and
+retry it.  This engine wraps any :class:`~repro.schedulers.base.Scheduler`
+with precisely that semantics, following the batched multiversion
+execution design of Faleiro & Abadi (epochs as quiescent batch boundaries)
+and watermark-based version retention (:mod:`repro.engine.gc`).
+
+Mechanics
+---------
+
+* **Epochs.**  The scheduler sees one growing schedule per *epoch* (the
+  engine's step log).  When the log exceeds ``epoch_max_steps`` the engine
+  asks the driver to stop admitting new transactions; once in-flight ones
+  drain, the epoch closes: scheduler reset, log cleared, GC run.  Epochs
+  bound both scheduler state and abort-replay cost.
+
+* **Abort and replay.**  Schedulers have no abort operation — rejection
+  kills them.  The engine recovers by removing the aborted transaction's
+  steps from the log (and its versions from the store), resetting the
+  scheduler and replaying the surviving log.  Replay is then *verified*:
+  every surviving read must still be served the identical version object.
+  A read whose source changed (it had read from the aborted transaction,
+  directly or through scheduler reassignment) cascades: that reader aborts
+  too and the replay repeats.  Committed transactions may never be touched
+  by this — the commit rule below makes that an invariant, and the engine
+  raises :class:`EngineError` rather than silently revoking a commit.
+
+* **Commit dependencies.**  A transaction that finished all its steps is
+  only *durably* committed once every transaction it read from has
+  committed; until then it is ``PENDING``.  This is classic recoverability:
+  it confines cascades to uncommitted transactions.  Cyclic waits among
+  pending transactions (possible because schedulers admit dirty reads) are
+  broken by aborting the youngest member (``break_pending_cycle``).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.model.schedules import T_INIT
+from repro.model.steps import Entity, Step, TxnId
+from repro.model.transactions import Transaction
+from repro.schedulers.base import Scheduler
+from repro.storage.executor import Program, herbrand_value
+from repro.storage.mvstore import Version
+from repro.storage.sharded import ShardedMultiversionStore
+from repro.engine.errors import EngineError, TransactionAborted
+from repro.engine.gc import WatermarkGC
+from repro.engine.metrics import EngineMetrics
+
+#: Builds a scheduler given the engine's live lengths dict (the engine
+#: registers each transaction's step count there at begin time).
+SchedulerFactory = Callable[[dict[TxnId, int]], Scheduler]
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "active"
+    PENDING = "pending"  # all steps accepted, waiting on read sources
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass(eq=False)
+class TxnAttempt:
+    """One attempt at running a logical transaction through the engine."""
+
+    txn: TxnId
+    n_steps: int
+    program: Program | None
+    #: global begin sequence — "age" for youngest-victim deadlock breaks.
+    seq: int
+    state: TxnState = TxnState.ACTIVE
+    #: values read so far, in read order (program input).
+    reads: list = field(default_factory=list)
+    write_index: int = 0
+    steps_done: int = 0
+    #: uncommitted attempts this one read from / that read from this one.
+    deps: set["TxnAttempt"] = field(default_factory=set)
+    readers: set["TxnAttempt"] = field(default_factory=set)
+    #: versions this attempt installed.
+    versions: list[Version] = field(default_factory=list)
+    abort_reason: str | None = None
+
+    @property
+    def done_submitting(self) -> bool:
+        return self.steps_done >= self.n_steps
+
+
+@dataclass(eq=False)
+class _LogEntry:
+    """One accepted step: its position is its index in the engine log."""
+
+    step: Step
+    attempt: TxnAttempt
+    #: for writes: the installed version.
+    version: Version | None = None
+    #: for reads: the version served.
+    read_version: Version | None = None
+
+
+class OnlineEngine:
+    """Abort/retry execution of transaction streams over one scheduler."""
+
+    def __init__(
+        self,
+        scheduler_factory: SchedulerFactory,
+        store=None,
+        initial: dict[Entity, Any] | None = None,
+        n_shards: int = 8,
+        gc_enabled: bool = True,
+        gc_every_commits: int = 32,
+        epoch_max_steps: int = 256,
+    ) -> None:
+        if epoch_max_steps < 1:
+            raise ValueError("epoch_max_steps must be >= 1")
+        self._lengths: dict[TxnId, int] = {}
+        self.scheduler = scheduler_factory(self._lengths)
+        self.store = (
+            store
+            if store is not None
+            else ShardedMultiversionStore(n_shards, initial)
+        )
+        self.metrics = EngineMetrics()
+        self.gc = WatermarkGC(self.store) if gc_enabled else None
+        if self.gc is not None:
+            self.metrics.gc = self.gc.stats
+        self.gc_every_commits = gc_every_commits
+        self.epoch_max_steps = epoch_max_steps
+
+        self.log: list[_LogEntry] = []
+        #: attempts currently ACTIVE or PENDING.
+        self._live: set[TxnAttempt] = set()
+        self._pending: set[TxnAttempt] = set()
+        #: global install-position counter (monotonic across epochs).
+        self._gpos = itertools.count()
+        self._epoch_start_gpos = 0
+        #: entity -> its base version at epoch start (captured at first
+        #: touch; every version older than a base is GC-prunable).
+        self._base: dict[Entity, Version] = {}
+        #: install position -> owning attempt, for this epoch's versions.
+        self._version_owner: dict[int, TxnAttempt] = {}
+        self._seq = itertools.count()
+        self._commits_since_gc = 0
+
+    # -- client protocol ---------------------------------------------------
+
+    def begin(
+        self, txn: TxnId, n_steps: int, program: Program | None = None
+    ) -> TxnAttempt:
+        """Open a new attempt at logical transaction ``txn``."""
+        self._lengths[txn] = n_steps
+        attempt = TxnAttempt(txn, n_steps, program, next(self._seq))
+        self._live.add(attempt)
+        self.metrics.attempts += 1
+        return attempt
+
+    def submit(self, attempt: TxnAttempt, step: Step) -> Any:
+        """Feed one step; return the read value (reads) or written value.
+
+        Raises :class:`TransactionAborted` if the attempt is already dead
+        (cascade/deadlock break between ticks) or the scheduler rejects
+        the step — in both cases the caller must retry via a new attempt.
+        """
+        if attempt.state is TxnState.ABORTED:
+            raise TransactionAborted(
+                attempt.txn, attempt.abort_reason or "aborted"
+            )
+        if attempt.state is not TxnState.ACTIVE:
+            raise EngineError(
+                f"submit on {attempt.state.value} attempt of {attempt.txn!r}"
+            )
+        if step.txn != attempt.txn:
+            raise EngineError(f"step {step} does not belong to {attempt.txn!r}")
+        entity = step.entity
+        if entity not in self._base:
+            # Base must be captured before the entity gains epoch-local
+            # versions; "latest at first touch" is exactly the committed
+            # state at epoch start.
+            self._base[entity] = self.store.latest(entity)
+        position = len(self.log)
+        self.metrics.steps_submitted += 1
+        if not self.scheduler.submit(step):
+            self.metrics.steps_rejected += 1
+            self._abort_cascade(attempt, "rejected")
+            raise TransactionAborted(attempt.txn, "rejected")
+        entry = _LogEntry(step, attempt)
+        self.log.append(entry)
+        attempt.steps_done += 1
+        if step.is_read:
+            source = self.scheduler.source_of_read(position)
+            version, owner = self._resolve_source(source, entity)
+            entry.read_version = version
+            attempt.reads.append(version.value)
+            if (
+                owner is not None
+                and owner is not attempt
+                and owner.state is not TxnState.COMMITTED
+            ):
+                attempt.deps.add(owner)
+                owner.readers.add(attempt)
+            return version.value
+        if attempt.program is not None:
+            value = attempt.program(attempt.write_index, list(attempt.reads))
+        else:
+            value = herbrand_value(
+                attempt.txn, attempt.write_index, attempt.reads
+            )
+        attempt.write_index += 1
+        version = self.store.install(
+            entity, attempt.txn, value, next(self._gpos)
+        )
+        entry.version = version
+        attempt.versions.append(version)
+        self._version_owner[version.position] = attempt
+        return value
+
+    def finish(self, attempt: TxnAttempt) -> TxnState:
+        """All steps submitted: move to PENDING and commit what's ready."""
+        if attempt.state is TxnState.ABORTED:
+            raise TransactionAborted(
+                attempt.txn, attempt.abort_reason or "aborted"
+            )
+        if attempt.state is not TxnState.ACTIVE:
+            raise EngineError(
+                f"finish on {attempt.state.value} attempt of {attempt.txn!r}"
+            )
+        if not attempt.done_submitting:
+            raise EngineError(
+                f"finish with {attempt.steps_done}/{attempt.n_steps} steps "
+                f"of {attempt.txn!r}"
+            )
+        attempt.state = TxnState.PENDING
+        self._pending.add(attempt)
+        self._finalize_ready()
+        return attempt.state
+
+    def run_transaction(
+        self, transaction: Transaction, program: Program | None = None
+    ) -> TxnAttempt:
+        """Convenience: begin, submit every step, finish (no retries)."""
+        attempt = self.begin(
+            transaction.txn, len(transaction.steps), program
+        )
+        for step in transaction.steps:
+            self.submit(attempt, step)
+        self.finish(attempt)
+        return attempt
+
+    # -- epoch control -----------------------------------------------------
+
+    @property
+    def wants_epoch_close(self) -> bool:
+        """True when the log is full: admit no new transactions, drain."""
+        return len(self.log) >= self.epoch_max_steps
+
+    @property
+    def quiescent(self) -> bool:
+        return not self._live
+
+    def close_epoch(self) -> None:
+        """Quiescent point: reset the scheduler, clear the log, run GC."""
+        if self._live:
+            raise EngineError(
+                f"close_epoch with {len(self._live)} transactions in flight"
+            )
+        self.scheduler.reset()
+        self.log.clear()
+        self._base.clear()
+        self._version_owner.clear()
+        self._lengths.clear()
+        self._epoch_start_gpos = next(self._gpos)
+        self.metrics.epochs_closed += 1
+        self.metrics.gc.peak_versions = max(
+            self.metrics.gc.peak_versions, self.store.version_count()
+        )
+        if self.gc is not None:
+            self.gc.collect(self._epoch_start_gpos)
+        self.metrics.final_versions = self.store.version_count()
+
+    def run_gc(self) -> int:
+        """Collect now, behind the current epoch's watermark."""
+        if self.gc is None:
+            return 0
+        pruned = self.gc.collect(self._epoch_start_gpos)
+        self.metrics.final_versions = self.store.version_count()
+        return pruned
+
+    def break_pending_cycle(self) -> TxnAttempt:
+        """Deadlock break: abort the youngest pending attempt.
+
+        Called by the driver when every in-flight transaction is pending —
+        which means the commit-dependency graph has a cycle (dirty reads
+        in both directions).  Aborting the youngest frees the others.
+        """
+        if not self._pending:
+            raise EngineError("break_pending_cycle with no pending attempts")
+        victim = max(self._pending, key=lambda a: a.seq)
+        self._abort_cascade(victim, "deadlock")
+        return victim
+
+    # -- abort machinery ---------------------------------------------------
+
+    def _resolve_source(
+        self, source, entity: Entity
+    ) -> tuple[Version, TxnAttempt | None]:
+        """Map a scheduler-committed source to (version, owning attempt).
+
+        ``None`` = single-version scheduler: the latest installed version.
+        ``T_INIT`` = the entity's base version at epoch start.  An int is
+        an epoch log position of the sourcing write.
+        """
+        if source is None:
+            version = self.store.latest(entity)
+            return version, self._version_owner.get(version.position)
+        if source == T_INIT:
+            return self._base[entity], None
+        entry = self.log[source]
+        if entry.version is None:
+            raise EngineError(f"read sourced from non-write position {source}")
+        return entry.version, entry.attempt
+
+    def _abort_cascade(self, root: TxnAttempt, reason: str) -> None:
+        """Abort ``root`` plus every uncommitted reader, then replay."""
+        self._doom(root, reason)
+        self._replay()
+        self._finalize_ready()
+
+    def _doom(self, root: TxnAttempt, reason: str) -> set[TxnAttempt]:
+        """Mark the cascade closure of ``root`` aborted; strip its traces."""
+        doomed: set[TxnAttempt] = set()
+        stack = [root]
+        while stack:
+            attempt = stack.pop()
+            if attempt in doomed or attempt.state is TxnState.ABORTED:
+                continue
+            if attempt.state is TxnState.COMMITTED:
+                raise EngineError(
+                    f"abort cascade reached committed transaction "
+                    f"{attempt.txn!r}"
+                )
+            doomed.add(attempt)
+            stack.extend(attempt.readers)
+        for attempt in doomed:
+            attempt.state = TxnState.ABORTED
+            attempt.abort_reason = reason if attempt is root else "cascade"
+            if attempt is root:
+                if reason == "rejected":
+                    self.metrics.aborted_rejected += 1
+                elif reason == "deadlock":
+                    self.metrics.aborted_deadlock += 1
+                else:
+                    self.metrics.aborted_cascade += 1
+            else:
+                self.metrics.aborted_cascade += 1
+            for version in attempt.versions:
+                self.store.remove(version)
+                del self._version_owner[version.position]
+            for dep in attempt.deps:
+                dep.readers.discard(attempt)
+            attempt.deps.clear()
+            attempt.readers.clear()
+        self._live -= doomed
+        self._pending -= doomed
+        if doomed:
+            self.log = [e for e in self.log if e.attempt not in doomed]
+        return doomed
+
+    def _replay(self) -> None:
+        """Rebuild scheduler state from the surviving log, verifying reads.
+
+        A replay rejection or a changed read source dooms that (still
+        uncommitted) attempt too and the replay restarts; committed
+        attempts hitting either case is an engine bug and raises.
+        """
+        while True:
+            self.metrics.replays += 1
+            self.scheduler.reset()
+            rejected = None
+            for entry in self.log:
+                if not self.scheduler.submit(entry.step):
+                    rejected = entry.attempt
+                    break
+            if rejected is not None:
+                if rejected.state is TxnState.COMMITTED:
+                    raise EngineError(
+                        f"replay rejected a step of committed transaction "
+                        f"{rejected.txn!r}"
+                    )
+                self._doom(rejected, "replay-rejected")
+                continue
+            invalidated = self._verify_reads()
+            if not invalidated:
+                return
+            for attempt in invalidated:
+                self._doom(attempt, "read-invalidated")
+
+    def _verify_reads(self) -> set[TxnAttempt]:
+        """Attempts whose reads are no longer served the same versions."""
+        vf = self.scheduler.version_function()
+        assignments = None if vf is None else vf.assignments
+        last_write: dict[Entity, _LogEntry] = {}
+        bad: set[TxnAttempt] = set()
+        for position, entry in enumerate(self.log):
+            step = entry.step
+            if step.is_write:
+                last_write[step.entity] = entry
+                continue
+            if assignments is None:
+                prior = last_write.get(step.entity)
+                version = (
+                    prior.version
+                    if prior is not None
+                    else self._base[step.entity]
+                )
+            else:
+                source = assignments.get(position, T_INIT)
+                version = (
+                    self._base[step.entity]
+                    if source == T_INIT
+                    else self.log[source].version
+                )
+            if version is not entry.read_version:
+                if entry.attempt.state is TxnState.COMMITTED:
+                    raise EngineError(
+                        f"replay changed a read of committed transaction "
+                        f"{entry.attempt.txn!r}"
+                    )
+                bad.add(entry.attempt)
+        return bad
+
+    # -- commit machinery --------------------------------------------------
+
+    def _finalize_ready(self) -> None:
+        """Durably commit every pending attempt whose sources committed."""
+        progress = True
+        while progress:
+            progress = False
+            for attempt in list(self._pending):
+                if all(
+                    dep.state is TxnState.COMMITTED for dep in attempt.deps
+                ):
+                    self._commit(attempt)
+                    progress = True
+
+    def _commit(self, attempt: TxnAttempt) -> None:
+        attempt.state = TxnState.COMMITTED
+        self._pending.discard(attempt)
+        self._live.discard(attempt)
+        self.metrics.committed += 1
+        self._commits_since_gc += 1
+        if (
+            self.gc is not None
+            and self.gc_every_commits
+            and self._commits_since_gc >= self.gc_every_commits
+        ):
+            self._commits_since_gc = 0
+            self.run_gc()

@@ -1,0 +1,23 @@
+"""Engine error types."""
+
+from __future__ import annotations
+
+
+class EngineError(RuntimeError):
+    """An engine invariant was violated — always a bug, never a workload
+    condition (workload conditions surface as :class:`TransactionAborted`)."""
+
+
+class TransactionAborted(Exception):
+    """The in-flight transaction was aborted and must be retried.
+
+    Raised out of :meth:`OnlineEngine.submit` when the scheduler rejects a
+    step (``reason="rejected"``); an attempt can also be aborted *between*
+    its own steps by a cascade or a deadlock break, which the session
+    layer observes through ``attempt.state``.
+    """
+
+    def __init__(self, txn, reason: str) -> None:
+        super().__init__(f"transaction {txn!r} aborted: {reason}")
+        self.txn = txn
+        self.reason = reason

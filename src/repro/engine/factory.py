@@ -1,0 +1,41 @@
+"""Named scheduler factories for the engine.
+
+The engine hands each factory its *live* lengths dict — the engine
+registers every transaction's step count there at begin time, which is
+how completion-detecting schedulers (2PL lock release, 2V2PL certify, SI
+first-committer-wins) learn transaction boundaries in an open-ended
+stream, where the transaction population is not known up front.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.model.steps import TxnId
+from repro.schedulers.base import Scheduler
+from repro.schedulers.mv2pl import TwoVersionTwoPL
+from repro.schedulers.mvto import MVTOScheduler
+from repro.schedulers.sgt import SGTScheduler
+from repro.schedulers.snapshot import SnapshotIsolationScheduler
+from repro.schedulers.twopl import TwoPhaseLocking
+
+SCHEDULER_FACTORIES: dict[
+    str, Callable[[dict[TxnId, int]], Scheduler]
+] = {
+    "mvto": lambda lengths: MVTOScheduler(),
+    "2v2pl": lambda lengths: TwoVersionTwoPL(lengths),
+    "2pl": lambda lengths: TwoPhaseLocking(lengths),
+    "sgt": lambda lengths: SGTScheduler(),
+    "si": lambda lengths: SnapshotIsolationScheduler(lengths),
+}
+
+
+def scheduler_factory(name: str):
+    """The factory registered under ``name`` (see SCHEDULER_FACTORIES)."""
+    try:
+        return SCHEDULER_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; one of "
+            f"{sorted(SCHEDULER_FACTORIES)}"
+        ) from None

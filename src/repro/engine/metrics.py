@@ -1,0 +1,87 @@
+"""Engine observability: commit/abort/retry counters and a report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.gc import GCStats
+
+
+@dataclass
+class EngineMetrics:
+    """Everything the engine counts while processing a stream."""
+
+    #: transaction attempts begun / durably committed.
+    attempts: int = 0
+    committed: int = 0
+    #: abort roots by cause; cascaded counts attempts dragged down by a
+    #: root abort (dirty read from it, or read invalidated by replay).
+    aborted_rejected: int = 0
+    aborted_deadlock: int = 0
+    aborted_cascade: int = 0
+    #: session-level retries actually re-begun, and transactions dropped
+    #: after exhausting their retry budget.
+    retries: int = 0
+    gave_up: int = 0
+    steps_submitted: int = 0
+    steps_rejected: int = 0
+    epochs_closed: int = 0
+    replays: int = 0
+    #: wall-clock seconds of the driving run (set by the driver).
+    elapsed: float = 0.0
+    gc: GCStats = field(default_factory=GCStats)
+    #: version_count at end of run.
+    final_versions: int = 0
+
+    @property
+    def aborted_total(self) -> int:
+        return (
+            self.aborted_rejected + self.aborted_deadlock + self.aborted_cascade
+        )
+
+    @property
+    def commit_rate(self) -> float:
+        """Committed fraction of attempts begun."""
+        return self.committed / self.attempts if self.attempts else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per wall-clock second."""
+        return self.committed / self.elapsed if self.elapsed > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "attempts": self.attempts,
+            "committed": self.committed,
+            "aborted": self.aborted_total,
+            "rejected": self.aborted_rejected,
+            "deadlock": self.aborted_deadlock,
+            "cascade": self.aborted_cascade,
+            "retries": self.retries,
+            "gave_up": self.gave_up,
+            "steps": self.steps_submitted,
+            "epochs": self.epochs_closed,
+            "gc_pruned": self.gc.versions_pruned,
+            "peak_versions": self.gc.peak_versions,
+            "final_versions": self.final_versions,
+        }
+
+    def report(self) -> str:
+        """A human-readable block for the CLI."""
+        lines = [
+            f"attempts      {self.attempts}",
+            f"committed     {self.committed}  "
+            f"(rate {self.commit_rate:.3f}, {self.throughput:.0f} txn/s)",
+            f"aborted       {self.aborted_total}  "
+            f"(rejected {self.aborted_rejected}, cascade "
+            f"{self.aborted_cascade}, deadlock {self.aborted_deadlock})",
+            f"retries       {self.retries}  (gave up {self.gave_up})",
+            f"steps         {self.steps_submitted}  "
+            f"(rejected {self.steps_rejected})",
+            f"epochs        {self.epochs_closed}  (replays {self.replays})",
+            f"versions      {self.final_versions} live, "
+            f"peak {self.gc.peak_versions}, "
+            f"pruned {self.gc.versions_pruned} "
+            f"in {self.gc.collections} collections",
+        ]
+        return "\n".join(lines)

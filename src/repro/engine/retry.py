@@ -1,0 +1,37 @@
+"""Retry policy: bounded attempts with exponential backoff.
+
+Backoff is measured in *driver ticks*, not wall-clock time — the engine is
+a synchronous simulation, so "waiting" means yielding turns to other
+sessions, which is exactly what backoff buys a real system: the conflicting
+transaction gets room to finish before the retry re-contends.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a session retries an aborted transaction."""
+
+    #: total attempts per transaction (first try included); when exhausted
+    #: the transaction is given up and counted in ``metrics.gave_up``.
+    max_attempts: int = 8
+    #: backoff after the k-th abort is ``base * 2**(k-1)`` ticks, capped.
+    backoff_base: int = 1
+    backoff_cap: int = 16
+    #: with jitter, the delay is drawn uniformly from [0, full delay] —
+    #: the classic decorrelation trick so retries don't re-collide.
+    jitter: bool = True
+
+    def delay(self, aborts: int, rng: random.Random) -> int:
+        """Backoff ticks after the ``aborts``-th abort (1-based)."""
+        full = min(self.backoff_cap, self.backoff_base * 2 ** max(0, aborts - 1))
+        if self.jitter and full > 0:
+            return rng.randint(0, full)
+        return full
+
+    def exhausted(self, attempts: int) -> bool:
+        return attempts >= self.max_attempts

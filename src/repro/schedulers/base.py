@@ -11,9 +11,9 @@ from __future__ import annotations
 
 import abc
 
-from repro.model.schedules import Schedule
+from repro.model.schedules import Schedule, T_INIT
 from repro.model.steps import Step, TxnId
-from repro.model.version_functions import VersionFunction
+from repro.model.version_functions import Source, VersionFunction
 
 
 class Scheduler(abc.ABC):
@@ -67,6 +67,22 @@ class Scheduler(abc.ABC):
         version function; they return None to signal "standard".
         """
         return None
+
+    def source_of_read(self, position: int) -> Source | None:
+        """Source committed for the accepted read at ``position``.
+
+        ``None`` means "standard" (a single-version scheduler: the read is
+        served the latest version); otherwise the position of the sourcing
+        write within ``accepted_steps``, or ``T_INIT``.  The default
+        rebuilds the full version function; multiversion schedulers
+        override it with an O(1) lookup — this is the hot path of the
+        online engine (:mod:`repro.engine`), which queries the source of
+        every read the moment it is accepted.
+        """
+        vf = self.version_function()
+        if vf is None:
+            return None
+        return vf.assignments.get(position, T_INIT)
 
     def accepts(self, schedule: Schedule) -> bool:
         """Reset, then feed the whole schedule; True iff all accepted."""

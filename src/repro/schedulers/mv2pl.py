@@ -32,7 +32,9 @@ class TwoVersionTwoPL(Scheduler):
 
     def __init__(self, steps_per_txn: dict[TxnId, int] | None = None) -> None:
         super().__init__()
-        self._lengths = steps_per_txn or {}
+        # Keep the caller's dict by reference: the online engine registers
+        # transaction lengths as sessions begin them, after construction.
+        self._lengths = {} if steps_per_txn is None else steps_per_txn
         self._seen: dict[TxnId, int] = {}
         self._committed: dict[Entity, int | str] = {}
         self._uncommitted: dict[Entity, tuple[TxnId, int]] = {}
@@ -90,3 +92,6 @@ class TwoVersionTwoPL(Scheduler):
 
     def version_function(self) -> VersionFunction:
         return VersionFunction(dict(self._assignments))
+
+    def source_of_read(self, position: int) -> int | str:
+        return self._assignments.get(position, T_INIT)

@@ -94,6 +94,9 @@ class MVTOScheduler(Scheduler):
         """The committed assignment over the accepted prefix."""
         return VersionFunction(dict(self._assignments))
 
+    def source_of_read(self, position: int) -> int | str:
+        return self._assignments.get(position, T_INIT)
+
     def serialization_order(self) -> list[TxnId]:
         """Timestamp order — the serial order MVTO realizes."""
         return sorted(self._timestamps, key=self._timestamps.get)

@@ -33,9 +33,11 @@ class SnapshotIsolationScheduler(Scheduler):
 
     name = "si"
 
-    def __init__(self, steps_per_txn: dict[TxnId, int]) -> None:
+    def __init__(self, steps_per_txn: dict[TxnId, int] | None = None) -> None:
         super().__init__()
-        self._lengths = dict(steps_per_txn)
+        # Keep the caller's dict by reference: the online engine registers
+        # transaction lengths as sessions begin them, after construction.
+        self._lengths = {} if steps_per_txn is None else steps_per_txn
         self._seen: dict[TxnId, int] = {}
         self._start: dict[TxnId, int] = {}
         self._committed_at: dict[TxnId, int] = {}
@@ -100,6 +102,9 @@ class SnapshotIsolationScheduler(Scheduler):
 
     def version_function(self) -> VersionFunction:
         return VersionFunction(dict(self._assignments))
+
+    def source_of_read(self, position: int) -> int | str:
+        return self._assignments.get(position, T_INIT)
 
 
 def write_skew_schedule() -> Schedule:

@@ -10,6 +10,7 @@ is exactly what preserves integrity constraints.
 """
 
 from repro.storage.mvstore import MultiversionStore, Version
+from repro.storage.sharded import ShardedMultiversionStore, shard_of
 from repro.storage.svstore import SingleVersionStore
 from repro.storage.executor import (
     ExecutionResult,
@@ -22,6 +23,8 @@ from repro.storage.txn_manager import TransactionManager, ProgramOutcome
 __all__ = [
     "MultiversionStore",
     "Version",
+    "ShardedMultiversionStore",
+    "shard_of",
     "SingleVersionStore",
     "ExecutionResult",
     "execute",

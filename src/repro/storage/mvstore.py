@@ -4,11 +4,18 @@ Each entity holds an ordered chain of versions ("each write step adds a
 value at the end of the set of values of the entity", paper §2); reads are
 served *a chosen* version, not necessarily the latest.  The store is the
 execution substrate under the multiversion schedulers and examples.
+
+Lookups by position (:meth:`MultiversionStore.at_position`) and by writer
+(:meth:`MultiversionStore.latest_by`) are backed by per-entity indexes, so
+they cost O(1) regardless of chain length — both are hot paths under the
+online engine (:mod:`repro.engine`) and the storage benchmarks.  The store
+also supports removing individual versions (transaction abort) and pruning
+chain prefixes (garbage collection); both keep the indexes consistent.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterator
 
 from repro.model.schedules import T_INIT
@@ -30,18 +37,47 @@ class Version:
         return self.position is None
 
 
+def _order_key(version: Version) -> int:
+    """Chain-order key of a version; the initial version sorts first."""
+    return -1 if version.position is None else version.position
+
+
 class MultiversionStore:
     """Entity -> ordered version chain; reads address any live version."""
 
     def __init__(self, initial: dict[Entity, Any] | None = None) -> None:
         self._chains: dict[Entity, list[Version]] = {}
         self._initial_values = dict(initial or {})
+        #: per-entity position -> version (None keys the initial version).
+        self._by_position: dict[Entity, dict[int | None, Version]] = {}
+        #: per-entity writer -> that writer's versions in chain order.
+        self._by_writer: dict[Entity, dict[TxnId, list[Version]]] = {}
+        self._n_versions = 0
 
     def _chain(self, entity: Entity) -> list[Version]:
         if entity not in self._chains:
             value = self._initial_values.get(entity, ("init", entity))
-            self._chains[entity] = [Version(entity, T_INIT, value, None)]
+            self._chains[entity] = []
+            self._by_position[entity] = {}
+            self._by_writer[entity] = {}
+            self._index(Version(entity, T_INIT, value, None))
         return self._chains[entity]
+
+    def _index(self, version: Version) -> None:
+        entity = version.entity
+        self._chains[entity].append(version)
+        self._by_position[entity][version.position] = version
+        self._by_writer[entity].setdefault(version.writer, []).append(version)
+        self._n_versions += 1
+
+    def _unindex(self, version: Version) -> None:
+        entity = version.entity
+        del self._by_position[entity][version.position]
+        owned = self._by_writer[entity][version.writer]
+        owned.remove(version)
+        if not owned:
+            del self._by_writer[entity][version.writer]
+        self._n_versions -= 1
 
     # -- writes ----------------------------------------------------------
 
@@ -49,9 +85,55 @@ class MultiversionStore:
         self, entity: Entity, writer: TxnId, value: Any, position: int
     ) -> Version:
         """Append a new version to the entity's chain."""
+        self._chain(entity)
         version = Version(entity, writer, value, position)
-        self._chain(entity).append(version)
+        self._index(version)
         return version
+
+    def remove(self, version: Version) -> None:
+        """Remove one installed version (transaction abort path).
+
+        The version must be present; removing the initial version is a bug
+        in the caller (an abort only retracts its own writes).
+        """
+        if version.is_initial:
+            raise ValueError("cannot remove the initial version")
+        chain = self._chains.get(version.entity)
+        if chain is None or self._by_position.get(version.entity, {}).get(
+            version.position
+        ) is not version:
+            raise KeyError(f"version {version!r} is not installed")
+        for i, v in enumerate(chain):
+            if v is version:
+                del chain[i]
+                break
+        self._unindex(version)
+
+    def prune_before(self, entity: Entity, watermark: int) -> int:
+        """Drop the chain prefix older than ``watermark`` (GC path).
+
+        Removes every version whose position is below ``watermark``
+        *except the newest such version* — that survivor is the base
+        version a reader positioned at the watermark would be served, so
+        pruning never loses an addressable version.  Returns the number of
+        versions removed.
+        """
+        chain = self._chains.get(entity)
+        if not chain:
+            return 0
+        cut = 0
+        for i, version in enumerate(chain):
+            if _order_key(version) < watermark:
+                cut = i
+            else:
+                break
+        removed = chain[:cut]
+        if not removed:
+            return 0
+        del chain[:cut]
+        for version in removed:
+            self._unindex(version)
+        return len(removed)
 
     # -- reads ------------------------------------------------------------
 
@@ -70,17 +152,21 @@ class MultiversionStore:
         version.  Raises ``KeyError`` when no such version exists —
         serving a version that was never installed is a bug in the caller.
         """
-        for version in self._chain(entity):
-            if version.position == position:
-                return version
-        raise KeyError(f"no version of {entity!r} at position {position}")
+        self._chain(entity)
+        try:
+            return self._by_position[entity][position]
+        except KeyError:
+            raise KeyError(
+                f"no version of {entity!r} at position {position}"
+            ) from None
 
     def latest_by(self, entity: Entity, writer: TxnId) -> Version:
         """The newest version written by ``writer``."""
-        for version in reversed(self._chain(entity)):
-            if version.writer == writer:
-                return version
-        raise KeyError(f"{writer!r} wrote no version of {entity!r}")
+        self._chain(entity)
+        owned = self._by_writer[entity].get(writer)
+        if not owned:
+            raise KeyError(f"{writer!r} wrote no version of {entity!r}")
+        return owned[-1]
 
     def versions(self, entity: Entity) -> list[Version]:
         """The full chain, oldest first."""
@@ -91,8 +177,8 @@ class MultiversionStore:
 
     def version_count(self) -> int:
         """Total number of stored versions (including initials)."""
-        return sum(len(c) for c in self._chains.values())
+        return self._n_versions
 
     def final_state(self) -> dict[Entity, Any]:
         """Latest value of every touched entity."""
-        return {e: self._chain(e)[-1].value for e in self._chains}
+        return {e: self._chains[e][-1].value for e in self._chains}

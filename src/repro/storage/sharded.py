@@ -1,0 +1,95 @@
+"""Sharded multiversion store: N independent stores behind one interface.
+
+Partitions entities across ``n_shards`` :class:`MultiversionStore` shards
+by a *stable* hash of the entity name (``zlib.crc32`` — Python's builtin
+``hash`` is salted per process, which would make runs irreproducible).
+Each shard owns its entities outright, so per-entity operations touch a
+single small dict instead of one global one — the layout every later
+scaling step (per-shard locks, per-shard GC, multi-backend) builds on.
+
+The interface is a strict superset of :class:`MultiversionStore`, so the
+online engine and the garbage collector accept either interchangeably.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Iterator
+
+from repro.model.steps import Entity, TxnId
+from repro.storage.mvstore import MultiversionStore, Version
+
+
+def shard_of(entity: Entity, n_shards: int) -> int:
+    """Stable shard index of an entity (crc32 of its name)."""
+    return zlib.crc32(str(entity).encode("utf-8")) % n_shards
+
+
+class ShardedMultiversionStore:
+    """Entity-hash-partitioned collection of multiversion stores."""
+
+    def __init__(
+        self,
+        n_shards: int = 8,
+        initial: dict[Entity, Any] | None = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.n_shards = n_shards
+        partitioned: list[dict[Entity, Any]] = [{} for _ in range(n_shards)]
+        for entity, value in (initial or {}).items():
+            partitioned[shard_of(entity, n_shards)][entity] = value
+        self.shards: list[MultiversionStore] = [
+            MultiversionStore(part) for part in partitioned
+        ]
+
+    def shard_for(self, entity: Entity) -> MultiversionStore:
+        """The shard that owns ``entity``."""
+        return self.shards[shard_of(entity, self.n_shards)]
+
+    # -- MultiversionStore interface, delegated per entity ----------------
+
+    def install(
+        self, entity: Entity, writer: TxnId, value: Any, position: int
+    ) -> Version:
+        return self.shard_for(entity).install(entity, writer, value, position)
+
+    def remove(self, version: Version) -> None:
+        self.shard_for(version.entity).remove(version)
+
+    def prune_before(self, entity: Entity, watermark: int) -> int:
+        return self.shard_for(entity).prune_before(entity, watermark)
+
+    def latest(self, entity: Entity) -> Version:
+        return self.shard_for(entity).latest(entity)
+
+    def initial(self, entity: Entity) -> Version:
+        return self.shard_for(entity).initial(entity)
+
+    def at_position(self, entity: Entity, position: int | None) -> Version:
+        return self.shard_for(entity).at_position(entity, position)
+
+    def latest_by(self, entity: Entity, writer: TxnId) -> Version:
+        return self.shard_for(entity).latest_by(entity, writer)
+
+    def versions(self, entity: Entity) -> list[Version]:
+        return self.shard_for(entity).versions(entity)
+
+    def entities(self) -> Iterator[Entity]:
+        for shard in self.shards:
+            yield from shard.entities()
+
+    def version_count(self) -> int:
+        return sum(shard.version_count() for shard in self.shards)
+
+    def final_state(self) -> dict[Entity, Any]:
+        state: dict[Entity, Any] = {}
+        for shard in self.shards:
+            state.update(shard.final_state())
+        return state
+
+    # -- sharding introspection -------------------------------------------
+
+    def shard_sizes(self) -> list[int]:
+        """Version count per shard (balance diagnostic)."""
+        return [shard.version_count() for shard in self.shards]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Iterator, Mapping
 
 from repro.model.enumeration import random_interleaving
 from repro.model.schedules import Schedule
@@ -143,3 +143,28 @@ class BankWorkload:
         full = dict(self.initial_state())
         full.update(state)
         return total_balance(full) == expected
+
+    def transaction_stream(
+        self, n_transactions: int, audit_every: int = 0
+    ) -> Iterator[tuple[Transaction, Program | None]]:
+        """An open-ended stream of transfers for the online engine.
+
+        Yields ``(transaction, program)`` pairs with stream-unique ids;
+        every ``audit_every``-th item is a read-only audit (program
+        ``None``).  Conservation holds whatever subset of the stream
+        commits, so the invariant check stays valid under abort/retry.
+        """
+        audits = 0
+        for k in range(1, n_transactions + 1):
+            if audit_every and k % audit_every == 0:
+                audits += 1
+                width = min(self.audit_width, self.n_accounts)
+                audited = self._rng.sample(self.accounts, width)
+                yield audit_transaction(f"a{audits}", audited), None
+                continue
+            source, target = self._pick_accounts()
+            amount = self._rng.randint(1, 20)
+            yield (
+                transfer_transaction(f"t{k}", source, target),
+                transfer_program(amount),
+            )

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Iterator, Mapping
 
 from repro.model.enumeration import random_interleaving
 from repro.model.schedules import Schedule
@@ -90,3 +90,17 @@ class InventoryWorkload:
         full.update(state)
         total_stock = sum(full[w] for w in self.warehouses)
         return total_stock + full[LEDGER] == self.initial_stock * self.n_warehouses
+
+    def transaction_stream(
+        self, n_transactions: int
+    ) -> Iterator[tuple[Transaction, Program]]:
+        """An open-ended stream of orders for the online engine.
+
+        Every order touches the single ``shipped`` ledger, so this is the
+        engine's high-contention stress; reconciliation holds whatever
+        subset of the stream commits.
+        """
+        for k in range(1, n_transactions + 1):
+            warehouse = self._rng.choice(self.warehouses)
+            quantity = self._rng.randint(1, 5)
+            yield order_transaction(f"o{k}", warehouse), order_program(quantity)

@@ -1,0 +1,146 @@
+"""Core engine flows: commit path, epochs, accounting."""
+
+import pytest
+
+from repro.engine import (
+    EngineError,
+    OnlineEngine,
+    TxnState,
+    scheduler_factory,
+)
+from repro.model.steps import read, write
+from repro.model.transactions import Transaction
+from repro.storage.mvstore import MultiversionStore
+from repro.storage.sharded import ShardedMultiversionStore
+from repro.workloads.bank import transfer_program, transfer_transaction
+
+
+def make_engine(name="mvto", **kwargs):
+    kwargs.setdefault("initial", {"x": 10, "y": 20})
+    return OnlineEngine(scheduler_factory(name), **kwargs)
+
+
+class TestCommitPath:
+    def test_serial_transfer_commits_and_moves_money(self):
+        engine = OnlineEngine(
+            scheduler_factory("mvto"), initial={"a": 100, "b": 100}
+        )
+        txn = transfer_transaction("t1", "a", "b")
+        attempt = engine.run_transaction(txn, transfer_program(30))
+        assert attempt.state is TxnState.COMMITTED
+        state = engine.store.final_state()
+        assert state["a"] == 70 and state["b"] == 130
+        assert engine.metrics.committed == 1
+        assert engine.metrics.aborted_total == 0
+
+    def test_reads_feed_programs_in_read_order(self):
+        engine = make_engine()
+        txn = Transaction("t", (read("t", "x"), read("t", "y"), write("t", "x")))
+        attempt = engine.begin("t", 3, lambda k, reads: sum(reads))
+        for step in txn.steps:
+            engine.submit(attempt, step)
+        engine.finish(attempt)
+        assert engine.store.latest("x").value == 30
+
+    def test_herbrand_semantics_without_program(self):
+        engine = make_engine()
+        txn = Transaction("t", (read("t", "x"), write("t", "x")))
+        engine.run_transaction(txn)
+        value = engine.store.latest("x").value
+        assert value == ("w", "t", 0, (10,))
+
+    def test_every_scheduler_commits_a_serial_stream(self):
+        for name in ["mvto", "2v2pl", "2pl", "sgt", "si"]:
+            engine = OnlineEngine(
+                scheduler_factory(name), initial={"a": 100, "b": 100}
+            )
+            for k in range(5):
+                txn = transfer_transaction(f"t{k}", "a", "b")
+                attempt = engine.run_transaction(txn, transfer_program(10))
+                assert attempt.state is TxnState.COMMITTED, name
+            assert engine.metrics.committed == 5
+            state = engine.store.final_state()
+            assert state["a"] == 50 and state["b"] == 150
+
+    def test_default_store_is_sharded(self):
+        engine = make_engine()
+        assert isinstance(engine.store, ShardedMultiversionStore)
+
+    def test_accepts_plain_multiversion_store(self):
+        engine = OnlineEngine(
+            scheduler_factory("mvto"),
+            store=MultiversionStore({"a": 100, "b": 100}),
+        )
+        txn = transfer_transaction("t1", "a", "b")
+        engine.run_transaction(txn, transfer_program(5))
+        assert engine.store.final_state()["a"] == 95
+
+
+class TestEpochs:
+    def test_close_epoch_resets_scheduler_and_log(self):
+        engine = make_engine(epoch_max_steps=4)
+        engine.run_transaction(
+            Transaction("t", (read("t", "x"), write("t", "x")))
+        )
+        assert len(engine.log) == 2
+        engine.close_epoch()
+        assert engine.log == []
+        assert engine.scheduler.accepted_steps == []
+        assert engine.metrics.epochs_closed == 1
+
+    def test_close_epoch_refuses_with_live_transactions(self):
+        engine = make_engine()
+        attempt = engine.begin("t", 2)
+        engine.submit(attempt, read("t", "x"))
+        with pytest.raises(EngineError):
+            engine.close_epoch()
+
+    def test_wants_epoch_close_when_log_full(self):
+        engine = make_engine(epoch_max_steps=2)
+        assert not engine.wants_epoch_close
+        engine.run_transaction(
+            Transaction("t", (read("t", "x"), write("t", "x")))
+        )
+        assert engine.wants_epoch_close
+
+    def test_values_survive_epoch_boundaries(self):
+        engine = OnlineEngine(
+            scheduler_factory("mvto"), initial={"a": 100, "b": 100}
+        )
+        engine.run_transaction(
+            transfer_transaction("t1", "a", "b"), transfer_program(30)
+        )
+        engine.close_epoch()
+        engine.run_transaction(
+            transfer_transaction("t2", "a", "b"), transfer_program(20)
+        )
+        state = engine.store.final_state()
+        assert state["a"] == 50 and state["b"] == 150
+
+
+class TestGuards:
+    def test_submit_wrong_txn_step_raises(self):
+        engine = make_engine()
+        attempt = engine.begin("t", 1)
+        with pytest.raises(EngineError):
+            engine.submit(attempt, read("other", "x"))
+
+    def test_finish_before_all_steps_raises(self):
+        engine = make_engine()
+        attempt = engine.begin("t", 2)
+        engine.submit(attempt, read("t", "x"))
+        with pytest.raises(EngineError):
+            engine.finish(attempt)
+
+    def test_unknown_scheduler_name_raises(self):
+        with pytest.raises(ValueError):
+            scheduler_factory("nope")
+
+    def test_degenerate_parameters_rejected(self):
+        # Both of these would otherwise make the driver loop forever.
+        with pytest.raises(ValueError):
+            make_engine(epoch_max_steps=0)
+        from repro.engine import ConcurrentDriver
+
+        with pytest.raises(ValueError):
+            ConcurrentDriver(make_engine(), iter(()), n_sessions=0)

@@ -1,0 +1,102 @@
+"""Concurrent driver: invariants, accounting, determinism, retry budget."""
+
+from repro.engine import (
+    ConcurrentDriver,
+    OnlineEngine,
+    RetryPolicy,
+    scheduler_factory,
+)
+from repro.workloads.bank import BankWorkload
+from repro.workloads.inventory import InventoryWorkload
+
+ALL_SCHEDULERS = ["mvto", "2v2pl", "2pl", "sgt", "si"]
+
+
+def run_bank(scheduler_name, n_txns=60, seed=1, retry=None, **engine_kwargs):
+    workload = BankWorkload(n_accounts=6, hot_fraction=0.5, seed=3)
+    engine_kwargs.setdefault("epoch_max_steps", 48)
+    engine = OnlineEngine(
+        scheduler_factory(scheduler_name),
+        initial=workload.initial_state(),
+        **engine_kwargs,
+    )
+    driver = ConcurrentDriver(
+        engine,
+        workload.transaction_stream(n_txns, audit_every=6),
+        n_sessions=4,
+        retry=retry,
+        seed=seed,
+    )
+    metrics = driver.run()
+    return workload, engine, driver, metrics
+
+
+class TestInvariantsUnderConcurrency:
+    def test_bank_conservation_under_every_scheduler(self):
+        for name in ALL_SCHEDULERS:
+            workload, engine, _, metrics = run_bank(name)
+            assert workload.invariant_holds(engine.store.final_state()), name
+            assert metrics.committed > 0, name
+
+    def test_inventory_reconciliation_under_every_scheduler(self):
+        for name in ALL_SCHEDULERS:
+            workload = InventoryWorkload(n_warehouses=3, seed=2)
+            engine = OnlineEngine(
+                scheduler_factory(name),
+                initial=workload.initial_state(),
+                epoch_max_steps=48,
+            )
+            driver = ConcurrentDriver(
+                engine, workload.transaction_stream(60), n_sessions=4, seed=1
+            )
+            metrics = driver.run()
+            assert workload.invariant_holds(engine.store.final_state()), name
+            assert metrics.committed > 0, name
+
+
+class TestAccounting:
+    def test_every_attempt_resolves(self):
+        for name in ALL_SCHEDULERS:
+            _, engine, driver, metrics = run_bank(name)
+            assert metrics.attempts == metrics.committed + metrics.aborted_total
+            assert metrics.aborted_total == metrics.retries + metrics.gave_up
+            assert engine.quiescent
+            committed = sum(len(s.committed) for s in driver.sessions)
+            gave_up = sum(len(s.gave_up) for s in driver.sessions)
+            assert committed == metrics.committed
+            assert gave_up == metrics.gave_up
+            # Each logical transaction resolved exactly once.
+            assert committed + gave_up == 60
+
+    def test_epochs_roll_over(self):
+        _, _, _, metrics = run_bank("mvto", epoch_max_steps=24)
+        assert metrics.epochs_closed > 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_run(self):
+        a = run_bank("mvto", seed=5)[3].as_dict()
+        b = run_bank("mvto", seed=5)[3].as_dict()
+        assert a == b
+
+    def test_different_seed_different_interleaving(self):
+        a = run_bank("mvto", seed=5)[3].as_dict()
+        b = run_bank("mvto", seed=6)[3].as_dict()
+        # Commit counts may coincide, full metric vectors almost never do.
+        assert a != b
+
+
+class TestRetryBudget:
+    def test_zero_retry_budget_gives_up_on_first_abort(self):
+        _, _, _, metrics = run_bank(
+            "2pl", retry=RetryPolicy(max_attempts=1, jitter=False)
+        )
+        assert metrics.retries == 0
+        assert metrics.gave_up == metrics.aborted_total
+        assert metrics.gave_up > 0  # hot bank stream does conflict
+
+    def test_generous_budget_commits_nearly_everything(self):
+        _, _, _, metrics = run_bank(
+            "mvto", retry=RetryPolicy(max_attempts=50)
+        )
+        assert metrics.committed >= 58  # of 60

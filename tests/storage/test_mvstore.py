@@ -59,3 +59,80 @@ class TestVersionChains:
         assert store.final_state() == {"x": "a", "y": "b"}
         assert store.version_count() == 4  # two initials + two installed
         assert set(store.entities()) == {"x", "y"}
+
+
+class TestRemove:
+    def test_remove_updates_all_lookup_paths(self):
+        store = MultiversionStore()
+        store.install("x", 1, "a", 0)
+        doomed = store.install("x", 2, "b", 1)
+        store.remove(doomed)
+        assert store.latest("x").value == "a"
+        assert store.version_count() == 2
+        with pytest.raises(KeyError):
+            store.at_position("x", 1)
+        with pytest.raises(KeyError):
+            store.latest_by("x", 2)
+
+    def test_remove_mid_chain_version(self):
+        store = MultiversionStore()
+        store.install("x", 1, "a", 0)
+        mid = store.install("x", 2, "b", 1)
+        store.install("x", 3, "c", 2)
+        store.remove(mid)
+        assert [v.value for v in store.versions("x")] == [
+            ("init", "x"), "a", "c",
+        ]
+
+    def test_latest_by_falls_back_to_writers_earlier_version(self):
+        store = MultiversionStore()
+        store.install("x", 1, "a", 0)
+        newer = store.install("x", 1, "b", 1)
+        store.remove(newer)
+        assert store.latest_by("x", 1).value == "a"
+
+    def test_remove_initial_version_rejected(self):
+        store = MultiversionStore()
+        with pytest.raises(ValueError):
+            store.remove(store.initial("x"))
+
+    def test_remove_unknown_version_raises(self):
+        store = MultiversionStore()
+        v = store.install("x", 1, "a", 0)
+        store.remove(v)
+        with pytest.raises(KeyError):
+            store.remove(v)
+
+
+class TestPrune:
+    def test_prune_keeps_base_and_later_versions(self):
+        store = MultiversionStore()
+        for k in range(4):
+            store.install("x", k, f"v{k}", k)
+        assert store.prune_before("x", 2) == 2  # initial and v0
+        assert [v.value for v in store.versions("x")] == ["v1", "v2", "v3"]
+        assert store.at_position("x", 1).value == "v1"
+        assert store.version_count() == 3
+
+    def test_prune_everything_leaves_latest(self):
+        store = MultiversionStore()
+        for k in range(4):
+            store.install("x", k, f"v{k}", k)
+        assert store.prune_before("x", 100) == 4
+        assert [v.value for v in store.versions("x")] == ["v3"]
+
+    def test_prune_untouched_entity_is_noop(self):
+        store = MultiversionStore()
+        assert store.prune_before("ghost", 5) == 0
+
+
+class TestIndexScaling:
+    def test_point_lookups_on_a_long_chain(self):
+        """at_position / latest_by are index hits, not chain scans; this
+        guards the behavior (the benchmark guards the speed)."""
+        store = MultiversionStore()
+        for k in range(500):
+            store.install("x", k % 7, k, k)
+        assert store.at_position("x", 123).value == 123
+        assert store.latest_by("x", 3).value == 493  # 493 % 7 == 3
+        assert store.at_position("x", None).is_initial

@@ -77,3 +77,24 @@ class TestSat:
     def test_unsat_exit_code(self, capsys):
         assert main(["sat", "a & ~a"]) == 1
         assert "UNSAT" in capsys.readouterr().out
+
+
+class TestEngine:
+    def test_bank_run_reports_metrics(self, capsys):
+        assert main([
+            "engine", "--workload", "bank", "--scheduler", "mvto",
+            "--txns", "30", "--sessions", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mvto on bank" in out
+        assert "committed" in out and "aborted" in out
+        assert "invariant     ok" in out
+
+    def test_all_schedulers_and_gc_off(self, capsys):
+        assert main([
+            "engine", "--workload", "inventory", "--scheduler", "all",
+            "--txns", "20", "--sessions", "2", "--no-gc",
+        ]) == 0
+        out = capsys.readouterr().out
+        for name in ["2pl", "2v2pl", "mvto", "sgt", "si"]:
+            assert f"== {name} on inventory" in out
