@@ -13,6 +13,8 @@ entity count while the no-GC footprint grows linearly with committed
 writes.
 """
 
+import os
+
 from repro.engine import (
     ConcurrentDriver,
     OnlineEngine,
@@ -23,7 +25,7 @@ from repro.workloads.bank import BankWorkload
 from repro.workloads.inventory import InventoryWorkload
 
 SCHEDULERS = ["2pl", "sgt", "2v2pl", "mvto", "si"]
-N_TXNS = 120
+N_TXNS = int(os.environ.get("REPRO_BENCH_TXNS", "120"))
 N_SESSIONS = 4
 
 
@@ -79,6 +81,9 @@ def test_bench_engine(benchmark, table_writer):
                 "retries": m_on.retries,
                 "gave_up": m_on.gave_up,
                 "rate": round(m_on.commit_rate, 3),
+                "lat_mean": round(m_on.latency.mean, 1),
+                "lat_p95": m_on.latency.p95,
+                "lat_max": m_on.latency.max,
                 "gc_pruned": m_on.gc.versions_pruned,
                 "versions(gc)": m_on.final_versions,
                 "versions(no-gc)": m_off.final_versions,
@@ -97,6 +102,8 @@ def test_bench_engine(benchmark, table_writer):
         # Retry semantics did their job: despite aborts, most of the
         # stream commits.
         assert m_on.committed >= 0.7 * N_TXNS
+        # Every commit carries a latency sample (E16 compares these).
+        assert m_on.latency.count == m_on.committed
         # GC reduces retained versions on a write-heavy stream...
         assert m_on.final_versions < m_off.final_versions
         assert m_on.gc.versions_pruned > 0

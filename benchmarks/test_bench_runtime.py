@@ -1,0 +1,166 @@
+"""E16 — parallel shard runtime: throughput vs workers and batch size.
+
+Runs the sharded bank scenario through the parallel runtime
+(:mod:`repro.runtime`) across worker counts and group-commit batch
+sizes, in deterministic and threaded mode, against the PR 1 serial
+engine (:mod:`repro.engine`) as baseline — same stream, same scheduler,
+same retry policy.
+
+Expected shape: the win comes from the execution model, not threads
+(the GIL serializes CPU-bound Python).  Whole-transaction tasks are
+conflict-free inside a domain where the serial driver's step
+interleaving provokes aborts and full-log replays — so even one worker
+beats the serial engine — and partitioning keeps multiple domains live
+at once with small per-domain replay logs.  At 4 workers the runtime
+clears the serial baseline by >= 1.5x on both mvto and si while
+preserving conservation, and commit latency (in scheduler ticks) stays
+comparable.  ``REPRO_BENCH_TXNS`` scales the stream down for CI smoke
+runs (below 200 txns the wall-clock ratio assert disengages).
+"""
+
+import os
+
+from repro.engine import (
+    ConcurrentDriver,
+    OnlineEngine,
+    RetryPolicy,
+    scheduler_factory,
+)
+from repro.runtime import ShardRuntime
+from repro.workloads.streams import ShardedBankScenario
+
+N_TXNS = int(os.environ.get("REPRO_BENCH_TXNS", "400"))
+SCHEDULERS = ["mvto", "si"]
+WORKER_COUNTS = [1, 2, 4]
+BATCH_SIZES = [1, 16]
+SPEEDUP_FLOOR = 1.5
+
+
+def scenario():
+    return ShardedBankScenario(
+        n_shards=4,
+        accounts_per_shard=4,
+        cross_fraction=0.1,
+        hot_fraction=0.2,
+        seed=5,
+    )
+
+
+def run_serial(workload, name):
+    engine = OnlineEngine(
+        scheduler_factory(name),
+        initial=workload.initial_state(),
+        n_shards=4,
+        epoch_max_steps=256,
+    )
+    driver = ConcurrentDriver(
+        engine,
+        workload.transaction_stream(N_TXNS),
+        n_sessions=4,
+        retry=RetryPolicy(),
+        seed=11,
+    )
+    metrics = driver.run()
+    assert workload.invariant_holds(engine.store.final_state())
+    return metrics
+
+
+def run_runtime(workload, name, workers, batch, deterministic):
+    runtime = ShardRuntime(
+        name,
+        initial=workload.initial_state(),
+        n_workers=workers,
+        batch_size=batch,
+        inflight=16,
+        deterministic=deterministic,
+        retry=RetryPolicy(),
+        seed=11,
+    )
+    metrics = runtime.run(workload.transaction_stream(N_TXNS))
+    assert workload.invariant_holds(runtime.final_state())
+    return metrics
+
+
+def test_bench_runtime(benchmark, table_writer):
+    def run_all():
+        out = {}
+        for name in SCHEDULERS:
+            out[("serial", name)] = run_serial(scenario(), name)
+            for workers in WORKER_COUNTS:
+                for batch in BATCH_SIZES:
+                    for deterministic in (True, False):
+                        key = (name, workers, batch, deterministic)
+                        out[key] = run_runtime(
+                            scenario(), name, workers, batch, deterministic
+                        )
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for name in SCHEDULERS:
+        serial = results[("serial", name)]
+        rows.append(
+            {
+                "scheduler": name,
+                "mode": "serial-engine",
+                "workers": "-",
+                "batch": "-",
+                "committed": serial.committed,
+                "txn/s": round(serial.throughput),
+                "speedup": 1.0,
+                "aborted": serial.aborted_total,
+                "lat_mean": round(serial.latency.mean, 1),
+                "lat_p95": serial.latency.p95,
+            }
+        )
+        for workers in WORKER_COUNTS:
+            for batch in BATCH_SIZES:
+                for deterministic in (True, False):
+                    m = results[(name, workers, batch, deterministic)]
+                    rows.append(
+                        {
+                            "scheduler": name,
+                            "mode": "det" if deterministic else "threaded",
+                            "workers": workers,
+                            "batch": batch,
+                            "committed": m.committed,
+                            "txn/s": round(m.throughput),
+                            "speedup": round(
+                                m.throughput / serial.throughput, 2
+                            ),
+                            "aborted": m.aborted,
+                            "lat_mean": round(m.latency.mean, 1),
+                            "lat_p95": m.latency.p95,
+                        }
+                    )
+
+        # The headline claim: 4 workers beat the serial engine by the
+        # floor margin (deterministic mode is the stable measurement;
+        # threaded is reported alongside).  Wall-clock ratios are only
+        # asserted at full stream sizes — CI's tiny smoke runs
+        # (REPRO_BENCH_TXNS) measure ~15ms baselines where shared-runner
+        # noise swamps the signal, so they execute the hot path without
+        # gating on it.
+        if N_TXNS >= 200:
+            best_at_4 = max(
+                results[(name, 4, batch, det)].throughput
+                for batch in BATCH_SIZES
+                for det in (True, False)
+            )
+            assert best_at_4 >= SPEEDUP_FLOOR * serial.throughput, (
+                name,
+                best_at_4,
+                serial.throughput,
+            )
+        # Nothing silently dropped in the headline configurations.
+        for batch in BATCH_SIZES:
+            m = results[(name, 4, batch, True)]
+            assert m.committed + m.gave_up == m.submitted
+
+    table_writer(
+        "E16_runtime",
+        "parallel shard runtime vs serial engine "
+        f"({N_TXNS} txns, sharded bank)",
+        rows,
+    )

@@ -9,9 +9,11 @@
     python -m repro census --samples 200 --txns 3 --steps 2
     python -m repro sat "a|b & ~a|~b"
     python -m repro engine --workload bank --scheduler mvto --txns 200
+    python -m repro runtime --scheduler mvto --workers 4 --batch-size 8
 
 Output goes to stdout; exit status is 0 on success, 1 on a negative
-decision (not in class / not OLS / unsatisfiable), 2 on usage errors.
+decision (not in class / not OLS / unsatisfiable / invariant violated /
+engine fault), 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -27,6 +29,41 @@ from repro.model.parsing import format_schedule_by_transaction, parse_schedule
 from repro.ols.decision import is_ols
 from repro.sat.cnf import CNF, Lit
 from repro.sat.solver import solve
+
+
+def _fraction(text: str) -> float:
+    """argparse type: a float in [0, 1] (rejected at parse time)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}") from None
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"must be in [0, 1], got {value}"
+        )
+    return value
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1 (rejected at parse time)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    """argparse type: an integer >= 0 (0 = feature disabled)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
 
 
 def _parse_cnf(text: str) -> CNF:
@@ -205,6 +242,55 @@ def cmd_engine(args: argparse.Namespace) -> int:
     return 0 if all_ok else 1
 
 
+def cmd_runtime(args: argparse.Namespace) -> int:
+    from repro.engine import RetryPolicy
+    from repro.runtime import ShardRuntime
+    from repro.workloads.inventory import InventoryWorkload
+    from repro.workloads.streams import ShardedBankScenario
+
+    if args.workload == "bank":
+        workload = ShardedBankScenario(
+            n_shards=args.workers,
+            accounts_per_shard=args.accounts_per_shard,
+            cross_fraction=args.cross_fraction,
+            hot_fraction=args.hot_fraction,
+            audit_every=args.audit_every,
+            seed=args.seed,
+        )
+        stream = workload.transaction_stream(args.txns)
+    else:
+        workload = InventoryWorkload(
+            n_warehouses=args.entities, seed=args.seed
+        )
+        stream = workload.transaction_stream(args.txns)
+    runtime = ShardRuntime(
+        args.scheduler,
+        initial=workload.initial_state(),
+        n_workers=args.workers,
+        batch_size=args.batch_size,
+        inflight=args.inflight,
+        deterministic=args.deterministic,
+        retry=RetryPolicy(max_attempts=args.max_retries),
+        seed=args.seed,
+        epoch_max_steps=args.epoch_steps,
+        gc_enabled=not args.no_gc,
+        gc_every_commits=args.gc_every,
+        cross_stride=args.cross_stride,
+    )
+    metrics = runtime.run(stream)
+    ok = workload.invariant_holds(runtime.final_state())
+    print(
+        f"== {runtime.plan.scheduler_name} on sharded {args.workload} "
+        f"({args.txns} txns, {args.workers} workers, "
+        f"batch {args.batch_size}"
+        f"{', deterministic' if args.deterministic else ''}) =="
+    )
+    print(f"[{runtime.plan.note}]")
+    print(metrics.report())
+    print(f"invariant     {'ok' if ok else 'VIOLATED'}")
+    return 0 if ok else 1
+
+
 def cmd_sat(args: argparse.Namespace) -> int:
     formula = _parse_cnf(args.formula)
     model = solve(formula)
@@ -273,30 +359,75 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["mvto", "2v2pl", "2pl", "sgt", "si", "all"],
         default="mvto",
     )
-    p.add_argument("--txns", type=int, default=200)
-    p.add_argument("--sessions", type=int, default=4)
-    p.add_argument("--entities", type=int, default=8,
+    p.add_argument("--txns", type=_positive_int, default=200)
+    p.add_argument("--sessions", type=_positive_int, default=4)
+    p.add_argument("--entities", type=_positive_int, default=8,
                    help="accounts / warehouses")
-    p.add_argument("--hot-fraction", type=float, default=0.5)
-    p.add_argument("--audit-every", type=int, default=0,
+    p.add_argument("--hot-fraction", type=_fraction, default=0.5)
+    p.add_argument("--audit-every", type=_nonnegative_int, default=0,
                    help="bank only: every k-th transaction is an audit")
-    p.add_argument("--shards", type=int, default=8)
+    p.add_argument("--shards", type=_positive_int, default=8)
     p.add_argument("--no-gc", action="store_true")
-    p.add_argument("--gc-every", type=int, default=32,
+    p.add_argument("--gc-every", type=_nonnegative_int, default=32,
                    help="collect every N commits")
-    p.add_argument("--epoch-steps", type=int, default=256)
-    p.add_argument("--max-retries", type=int, default=8)
+    p.add_argument("--epoch-steps", type=_positive_int, default=256)
+    p.add_argument("--max-retries", type=_positive_int, default=8)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_engine)
+
+    p = sub.add_parser(
+        "runtime",
+        help="run a stream through the parallel shard runtime",
+    )
+    p.add_argument("--workload", choices=["bank", "inventory"], default="bank")
+    p.add_argument(
+        "--scheduler",
+        choices=["mvto", "si", "2v2pl", "2pl", "sgt"],
+        default="mvto",
+    )
+    p.add_argument("--txns", type=_positive_int, default=400)
+    p.add_argument("--workers", type=_positive_int, default=4)
+    p.add_argument("--batch-size", type=_positive_int, default=8,
+                   help="group-commit batch size")
+    p.add_argument("--deterministic", action="store_true",
+                   help="single-threaded reproducible mode")
+    p.add_argument("--inflight", type=_positive_int, default=16,
+                   help="transactions in flight at once")
+    p.add_argument("--accounts-per-shard", type=_positive_int, default=4)
+    p.add_argument("--entities", type=_positive_int, default=8,
+                   help="inventory only: warehouses")
+    p.add_argument("--cross-fraction", type=_fraction, default=0.1,
+                   help="bank only: cross-shard transfer fraction")
+    p.add_argument("--hot-fraction", type=_fraction, default=0.2,
+                   help="bank only: hot-shard transfer fraction")
+    p.add_argument("--audit-every", type=_nonnegative_int, default=0,
+                   help="bank only: every k-th transaction is an audit")
+    p.add_argument("--cross-stride", type=_nonnegative_int, default=0,
+                   help="coordinator transitions per round "
+                        "(0 = run each cross-shard txn to completion)")
+    p.add_argument("--no-gc", action="store_true")
+    p.add_argument("--gc-every", type=_nonnegative_int, default=32,
+                   help="collect every N commits per worker")
+    p.add_argument("--epoch-steps", type=_positive_int, default=128)
+    p.add_argument("--max-retries", type=_positive_int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_runtime)
 
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    from repro.engine.errors import EngineError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except EngineError as exc:
+        # An engine invariant broke mid-run: report the fault cleanly
+        # (one line, non-zero exit) instead of dumping a traceback.
+        print(f"engine fault: {exc}", file=sys.stderr)
+        return 1
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

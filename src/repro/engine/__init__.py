@@ -10,15 +10,16 @@ address.  See :mod:`repro.engine.engine` for the execution model
 (epochs, abort-replay, commit dependencies).
 """
 
-from repro.engine.engine import OnlineEngine, TxnAttempt, TxnState
+from repro.engine.engine import NO_VALUE, OnlineEngine, TxnAttempt, TxnState
 from repro.engine.errors import EngineError, TransactionAborted
 from repro.engine.factory import SCHEDULER_FACTORIES, scheduler_factory
 from repro.engine.gc import GCStats, WatermarkGC
-from repro.engine.metrics import EngineMetrics
+from repro.engine.metrics import EngineMetrics, LatencyStats
 from repro.engine.retry import RetryPolicy
 from repro.engine.sessions import ConcurrentDriver, Session, SessionState
 
 __all__ = [
+    "NO_VALUE",
     "OnlineEngine",
     "TxnAttempt",
     "TxnState",
@@ -29,6 +30,7 @@ __all__ = [
     "GCStats",
     "WatermarkGC",
     "EngineMetrics",
+    "LatencyStats",
     "RetryPolicy",
     "ConcurrentDriver",
     "Session",

@@ -47,7 +47,7 @@ from repro.model.schedules import T_INIT
 from repro.model.steps import Entity, Step, TxnId
 from repro.model.transactions import Transaction
 from repro.schedulers.base import Scheduler
-from repro.storage.executor import Program, herbrand_value
+from repro.storage.executor import Program, write_value
 from repro.storage.mvstore import Version
 from repro.storage.sharded import ShardedMultiversionStore
 from repro.engine.errors import EngineError, TransactionAborted
@@ -66,6 +66,10 @@ class TxnState(enum.Enum):
     ABORTED = "aborted"
 
 
+#: sentinel: "no explicit write value supplied" for :meth:`OnlineEngine.submit`.
+NO_VALUE = object()
+
+
 @dataclass(eq=False)
 class TxnAttempt:
     """One attempt at running a logical transaction through the engine."""
@@ -76,6 +80,13 @@ class TxnAttempt:
     #: global begin sequence — "age" for youngest-victim deadlock breaks.
     seq: int
     state: TxnState = TxnState.ACTIVE
+    #: while True, the attempt may become PENDING-complete but is never
+    #: durably committed — the parallel runtime's group-commit flush
+    #: releases the hold (:meth:`OnlineEngine.release`).
+    hold: bool = False
+    #: tick the *logical* transaction first entered the system (first
+    #: attempt, before any retry); commit records latency against it.
+    born_tick: int | None = None
     #: values read so far, in read order (program input).
     reads: list = field(default_factory=list)
     write_index: int = 0
@@ -116,9 +127,14 @@ class OnlineEngine:
         gc_enabled: bool = True,
         gc_every_commits: int = 32,
         epoch_max_steps: int = 256,
+        hold_commits: bool = False,
     ) -> None:
         if epoch_max_steps < 1:
             raise ValueError("epoch_max_steps must be >= 1")
+        #: when True, every attempt begins held: completion makes it
+        #: PENDING but only :meth:`release` can durably commit it (the
+        #: parallel runtime's group-commit discipline).
+        self.hold_commits = hold_commits
         self._lengths: dict[TxnId, int] = {}
         self.scheduler = scheduler_factory(self._lengths)
         self.store = (
@@ -151,17 +167,41 @@ class OnlineEngine:
     # -- client protocol ---------------------------------------------------
 
     def begin(
-        self, txn: TxnId, n_steps: int, program: Program | None = None
+        self,
+        txn: TxnId,
+        n_steps: int,
+        program: Program | None = None,
+        born_tick: int | None = None,
     ) -> TxnAttempt:
-        """Open a new attempt at logical transaction ``txn``."""
+        """Open a new attempt at logical transaction ``txn``.
+
+        ``born_tick`` is the tick the logical transaction first entered
+        the system (constant across retries); when given, durable commit
+        records ``metrics.ticks - born_tick`` as the commit latency.
+        """
         self._lengths[txn] = n_steps
-        attempt = TxnAttempt(txn, n_steps, program, next(self._seq))
+        attempt = TxnAttempt(
+            txn,
+            n_steps,
+            program,
+            next(self._seq),
+            hold=self.hold_commits,
+            born_tick=born_tick,
+        )
         self._live.add(attempt)
         self.metrics.attempts += 1
         return attempt
 
-    def submit(self, attempt: TxnAttempt, step: Step) -> Any:
+    def submit(
+        self, attempt: TxnAttempt, step: Step, value: Any = NO_VALUE
+    ) -> Any:
         """Feed one step; return the read value (reads) or written value.
+
+        For writes, ``value`` overrides the attempt's program/Herbrand
+        computation — the parallel runtime computes cross-shard write
+        values at the dispatcher (which sees all the transaction's reads)
+        and submits them explicitly, since a shard only sees its own
+        slice of the read set.
 
         Raises :class:`TransactionAborted` if the attempt is already dead
         (cascade/deadlock break between ticks) or the scheduler rejects
@@ -205,11 +245,10 @@ class OnlineEngine:
                 attempt.deps.add(owner)
                 owner.readers.add(attempt)
             return version.value
-        if attempt.program is not None:
-            value = attempt.program(attempt.write_index, list(attempt.reads))
-        else:
-            value = herbrand_value(
-                attempt.txn, attempt.write_index, attempt.reads
+        if value is NO_VALUE:
+            value = write_value(
+                attempt.program, attempt.txn, attempt.write_index,
+                attempt.reads,
             )
         attempt.write_index += 1
         version = self.store.install(
@@ -291,6 +330,46 @@ class OnlineEngine:
         self.metrics.final_versions = self.store.version_count()
         return pruned
 
+    # -- runtime protocol --------------------------------------------------
+
+    def release(self, attempts: Iterable[TxnAttempt]) -> list[TxnAttempt]:
+        """Clear commit holds and finalize; return attempts left unredeemed.
+
+        The parallel runtime's group-commit flush releases a whole batch
+        at once; releasing first and finalizing once lets the commit
+        fixpoint order intra-batch read-from dependencies.  An attempt
+        that stays uncommitted after the fixpoint (a dependency outside
+        the released set is still pending) is returned — the flush
+        planner guarantees the list is empty, so callers treat a
+        non-empty result as a bug.
+        """
+        attempts = list(attempts)
+        for attempt in attempts:
+            attempt.hold = False
+        self._finalize_ready()
+        return [
+            a for a in attempts if a.state is not TxnState.COMMITTED
+        ]
+
+    def abort_attempt(
+        self, attempt: TxnAttempt, reason: str = "external"
+    ) -> None:
+        """Abort a live attempt from outside the engine (idempotent).
+
+        The parallel runtime uses this for cross-shard coordination: when
+        one shard votes no, the transaction's attempts on every other
+        shard are aborted through here.  Aborting an already-aborted
+        attempt is a no-op; aborting a committed one is an engine error
+        (commits are durable).
+        """
+        if attempt.state is TxnState.ABORTED:
+            return
+        if attempt.state is TxnState.COMMITTED:
+            raise EngineError(
+                f"abort_attempt on committed transaction {attempt.txn!r}"
+            )
+        self._abort_cascade(attempt, reason)
+
     def break_pending_cycle(self) -> TxnAttempt:
         """Deadlock break: abort the youngest pending attempt.
 
@@ -354,6 +433,8 @@ class OnlineEngine:
                     self.metrics.aborted_rejected += 1
                 elif reason == "deadlock":
                     self.metrics.aborted_deadlock += 1
+                elif reason in ("external", "remote-abort", "flush-abort"):
+                    self.metrics.aborted_external += 1
                 else:
                     self.metrics.aborted_cascade += 1
             else:
@@ -442,6 +523,8 @@ class OnlineEngine:
         while progress:
             progress = False
             for attempt in list(self._pending):
+                if attempt.hold:
+                    continue
                 if all(
                     dep.state is TxnState.COMMITTED for dep in attempt.deps
                 ):
@@ -453,6 +536,10 @@ class OnlineEngine:
         self._pending.discard(attempt)
         self._live.discard(attempt)
         self.metrics.committed += 1
+        if attempt.born_tick is not None:
+            self.metrics.latency.record(
+                self.metrics.ticks - attempt.born_tick
+            )
         self._commits_since_gc += 1
         if (
             self.gc is not None

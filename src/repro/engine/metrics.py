@@ -2,9 +2,68 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.engine.gc import GCStats
+
+
+@dataclass
+class LatencyStats:
+    """Per-transaction commit latency, in driver ticks.
+
+    A sample is recorded per *logical* transaction at durable commit:
+    ticks elapsed from the first submit of its first attempt (retries
+    included) to the commit.  Ticks, not wall-clock, so deterministic
+    runs report byte-identical latency.
+    """
+
+    samples: list[int] = field(default_factory=list)
+
+    def record(self, ticks: int) -> None:
+        self.samples.append(ticks)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def min(self) -> int:
+        return min(self.samples) if self.samples else 0
+
+    @property
+    def max(self) -> int:
+        return max(self.samples) if self.samples else 0
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    @property
+    def p95(self) -> int:
+        """95th percentile (nearest-rank)."""
+        if not self.samples:
+            return 0
+        ordered = sorted(self.samples)
+        rank = math.ceil(0.95 * len(ordered))
+        return ordered[rank - 1]
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "min": self.min,
+            "mean": round(self.mean, 3),
+            "p95": self.p95,
+            "max": self.max,
+        }
+
+    def summary(self) -> str:
+        if not self.samples:
+            return "no samples"
+        return (
+            f"min {self.min}, mean {self.mean:.1f}, "
+            f"p95 {self.p95}, max {self.max} ticks"
+        )
 
 
 @dataclass
@@ -19,6 +78,9 @@ class EngineMetrics:
     aborted_rejected: int = 0
     aborted_deadlock: int = 0
     aborted_cascade: int = 0
+    #: abort roots requested from outside the engine (the parallel
+    #: runtime's cross-shard vote-no / flush-abort path).
+    aborted_external: int = 0
     #: session-level retries actually re-begun, and transactions dropped
     #: after exhausting their retry budget.
     retries: int = 0
@@ -29,6 +91,9 @@ class EngineMetrics:
     replays: int = 0
     #: wall-clock seconds of the driving run (set by the driver).
     elapsed: float = 0.0
+    #: logical clock: driver rounds so far (the latency unit).
+    ticks: int = 0
+    latency: LatencyStats = field(default_factory=LatencyStats)
     gc: GCStats = field(default_factory=GCStats)
     #: version_count at end of run.
     final_versions: int = 0
@@ -36,7 +101,10 @@ class EngineMetrics:
     @property
     def aborted_total(self) -> int:
         return (
-            self.aborted_rejected + self.aborted_deadlock + self.aborted_cascade
+            self.aborted_rejected
+            + self.aborted_deadlock
+            + self.aborted_cascade
+            + self.aborted_external
         )
 
     @property
@@ -57,10 +125,12 @@ class EngineMetrics:
             "rejected": self.aborted_rejected,
             "deadlock": self.aborted_deadlock,
             "cascade": self.aborted_cascade,
+            "external": self.aborted_external,
             "retries": self.retries,
             "gave_up": self.gave_up,
             "steps": self.steps_submitted,
             "epochs": self.epochs_closed,
+            "latency": self.latency.as_dict(),
             "gc_pruned": self.gc.versions_pruned,
             "peak_versions": self.gc.peak_versions,
             "final_versions": self.final_versions,
@@ -74,10 +144,12 @@ class EngineMetrics:
             f"(rate {self.commit_rate:.3f}, {self.throughput:.0f} txn/s)",
             f"aborted       {self.aborted_total}  "
             f"(rejected {self.aborted_rejected}, cascade "
-            f"{self.aborted_cascade}, deadlock {self.aborted_deadlock})",
+            f"{self.aborted_cascade}, deadlock {self.aborted_deadlock}, "
+            f"external {self.aborted_external})",
             f"retries       {self.retries}  (gave up {self.gave_up})",
             f"steps         {self.steps_submitted}  "
             f"(rejected {self.steps_rejected})",
+            f"latency       {self.latency.summary()}",
             f"epochs        {self.epochs_closed}  (replays {self.replays})",
             f"versions      {self.final_versions} live, "
             f"peak {self.gc.peak_versions}, "

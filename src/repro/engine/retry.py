@@ -4,6 +4,12 @@ Backoff is measured in *driver ticks*, not wall-clock time — the engine is
 a synchronous simulation, so "waiting" means yielding turns to other
 sessions, which is exactly what backoff buys a real system: the conflicting
 transaction gets room to finish before the retry re-contends.
+
+The policy is deliberately engine-agnostic: the serial driver
+(:class:`repro.engine.sessions.ConcurrentDriver`) and the parallel shard
+runtime (:class:`repro.runtime.ShardRuntime`) share it, each supplying its
+own tick clock and seeded RNG, so retry behaviour stays comparable across
+execution models.
 """
 
 from __future__ import annotations

@@ -57,6 +57,9 @@ class Session:
         self.attempt_no = 0
         self.step_index = 0
         self.backoff_left = 0
+        #: tick the current logical transaction entered the system; kept
+        #: across retries so commit latency spans backoffs and re-runs.
+        self.born_tick = 0
         #: logical transactions this session committed / dropped.
         self.committed: list = []
         self.gave_up: list = []
@@ -71,12 +74,16 @@ class Session:
         self.transaction = transaction
         self.program = program
         self.attempt_no = 0
+        self.born_tick = self.engine.metrics.ticks
         self._begin_attempt()
 
     def _begin_attempt(self) -> None:
         self.attempt_no += 1
         self.attempt = self.engine.begin(
-            self.transaction.txn, len(self.transaction.steps), self.program
+            self.transaction.txn,
+            len(self.transaction.steps),
+            self.program,
+            born_tick=self.born_tick,
         )
         self.step_index = 0
         self.state = SessionState.RUNNING
@@ -191,6 +198,7 @@ class ConcurrentDriver:
         engine = self.engine
         started = time.perf_counter()
         while True:
+            engine.metrics.ticks += 1
             self._feed_idle_sessions()
             busy = [s for s in self.sessions if s.busy]
             if not busy:

@@ -1,0 +1,579 @@
+"""The dispatcher: route transactions to shard workers, group-commit them.
+
+:class:`ShardRuntime` is the parallel counterpart of the serial
+:class:`~repro.engine.sessions.ConcurrentDriver`.  Where the driver
+interleaves sessions over *one* engine, the runtime partitions the
+engine itself: each conflict domain (a shard, or the whole store for
+non-partitionable schedulers — see :mod:`repro.runtime.shared`) gets its
+own :class:`~repro.runtime.worker.ShardWorker` with its own scheduler,
+store slice, epoch log and GC, and the dispatcher routes work by the
+same crc32 entity hash the sharded store uses.
+
+Execution model
+---------------
+
+* **Single-domain transactions** (the common case under shard-local
+  workloads) are handed to their worker as one task: the worker runs
+  every step, computes write values locally, and reports a *vote* —
+  complete-and-held, awaiting group commit — or an abort.
+
+* **Cross-domain transactions** are coordinated by the dispatcher,
+  which is the only place that sees the whole read set: a per-ticket
+  state machine feeds each step to the owning worker, accumulates read
+  values in transaction order, computes write values itself, and
+  submits them explicitly.  The machine advances one transition per
+  dispatcher round, so concurrent cross-domain transactions genuinely
+  interleave inside the workers — in deterministic mode as well, where
+  the round-robin is the (reproducible) source of contention.  Any
+  shard's rejection aborts the transaction's slices everywhere (the
+  first phase of the all-shards-vote protocol).
+
+* **Durable commit** is batched through
+  :class:`~repro.runtime.group_commit.GroupCommitLog`: voted
+  transactions accumulate; a full batch (or an epoch-close request, or
+  a starved dispatcher) triggers a flush, which runs the vote/decide/
+  apply barrier described in :mod:`repro.runtime.worker`.  Only the
+  flush decides durability — until then every attempt is commit-held in
+  its engine, which is what keeps cross-shard atomicity: no shard can
+  commit its slice early and strand the others.
+
+* **Retry** is dispatcher-owned, with the engine's
+  :class:`~repro.engine.retry.RetryPolicy` (bounded attempts,
+  exponential backoff in dispatcher ticks).
+
+With ``deterministic=True`` no threads exist, tasks run inline in a
+fixed order, and two same-seed runs produce byte-identical
+``metrics.as_dict()`` — the mode tests and CI pin behaviour with.
+Threaded mode trades that for real pipelining across workers.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.engine.engine import OnlineEngine, TxnState
+from repro.engine.errors import EngineError, TransactionAborted
+from repro.engine.factory import scheduler_factory
+from repro.engine.retry import RetryPolicy
+from repro.model.steps import Entity, TxnId
+from repro.model.transactions import Transaction
+from repro.storage.executor import Program, write_value
+from repro.storage.sharded import ShardedMultiversionStore, shard_of
+from repro.runtime.group_commit import GroupCommitLog
+from repro.runtime.metrics import RuntimeMetrics
+from repro.runtime.shared import locked_factory, plan_domains
+from repro.runtime.worker import FlushRendezvous, ShardWorker
+
+
+class TicketState(enum.Enum):
+    EXECUTING = "executing"
+    #: voted everywhere; sitting in the group-commit batch.
+    BATCHED = "batched"
+    BACKOFF = "backoff"
+    COMMITTED = "committed"
+    GAVE_UP = "gave-up"
+
+
+@dataclass(eq=False)
+class CrossState:
+    """Coordinator state of one cross-domain attempt (see module doc)."""
+
+    #: worker id -> number of this transaction's steps it owns.
+    counts: dict
+    phase: str = "begin"  # begin -> steps -> finish
+    #: outstanding begin/finish tasks, one per involved worker.
+    barrier: list = field(default_factory=list)
+    step_index: int = 0
+    #: read values gathered so far, in transaction order.
+    reads: list = field(default_factory=list)
+    write_index: int = 0
+    #: the one outstanding step task, if any.
+    pending: object = None
+
+
+@dataclass(eq=False)
+class TxnTicket:
+    """One logical transaction's journey through the runtime."""
+
+    transaction: Transaction
+    program: Program | None
+    #: logical transaction id — the group-commit key.
+    key: TxnId
+    #: dispatcher tick of first submission (constant across retries).
+    born_tick: int
+    #: global order token of the *current* attempt; primes every shard
+    #: scheduler so all domains realize one serialization order.
+    seq: int = 0
+    attempt_no: int = 0
+    state: TicketState = TicketState.EXECUTING
+    worker_ids: tuple[int, ...] = ()
+    #: worker id -> live TxnAttempt of the current attempt.
+    attempts: dict = field(default_factory=dict)
+    future: object = None
+    #: coordinator state while a cross-domain attempt is in flight.
+    cross: CrossState | None = None
+    backoff_left: int = 0
+
+
+class ShardRuntime:
+    """Parallel shard execution with epoch-batched group commit."""
+
+    def __init__(
+        self,
+        scheduler="mvto",
+        initial: dict[Entity, object] | None = None,
+        n_workers: int = 4,
+        batch_size: int = 8,
+        inflight: int = 8,
+        deterministic: bool = False,
+        retry: RetryPolicy | None = None,
+        seed: int = 0,
+        epoch_max_steps: int = 128,
+        gc_enabled: bool = True,
+        gc_every_commits: int = 32,
+        cross_stride: int = 0,
+    ) -> None:
+        """``cross_stride`` caps coordinator transitions per cross-domain
+        transaction per dispatcher round.  0 (the default) advances until
+        the transaction blocks on a worker, which keeps cross-domain
+        commits short and abort rates low; 1 forces maximal interleaving
+        of concurrent cross-domain transactions — the adversarial
+        schedule generator the contention tests use."""
+        if inflight < 1:
+            raise ValueError("inflight must be >= 1")
+        if cross_stride < 0:
+            raise ValueError("cross_stride must be >= 0")
+        factory = (
+            scheduler_factory(scheduler)
+            if isinstance(scheduler, str)
+            else scheduler
+        )
+        self.plan = plan_domains(factory, n_workers)
+        n_domains = self.plan.n_domains
+        self.deterministic = deterministic
+        self.store = ShardedMultiversionStore(n_domains, initial)
+        self.metrics = RuntimeMetrics(
+            n_workers=n_workers,
+            effective_domains=n_domains,
+            partitionable=self.plan.partitionable,
+            deterministic=deterministic,
+        )
+        self.workers: list[ShardWorker] = []
+        if self.plan.partitionable:
+            for domain in range(n_domains):
+                engine = OnlineEngine(
+                    factory,
+                    store=self.store.shards[domain],
+                    gc_enabled=gc_enabled,
+                    gc_every_commits=gc_every_commits,
+                    epoch_max_steps=epoch_max_steps,
+                    hold_commits=True,
+                )
+                self.workers.append(
+                    ShardWorker(
+                        domain,
+                        engine,
+                        lock=self.store.locks[domain],
+                        deterministic=deterministic,
+                    )
+                )
+        else:
+            # Shared lock table: one conflict domain over the whole store.
+            engine = OnlineEngine(
+                factory if deterministic else locked_factory(factory),
+                store=self.store,
+                gc_enabled=gc_enabled,
+                gc_every_commits=gc_every_commits,
+                epoch_max_steps=epoch_max_steps,
+                hold_commits=True,
+            )
+            self.workers.append(
+                ShardWorker(
+                    0,
+                    engine,
+                    lock=self.store.locked_all(),
+                    deterministic=deterministic,
+                )
+            )
+        self.n_domains = n_domains
+        self.group_commit = GroupCommitLog(
+            batch_size, self.metrics.group_commit
+        )
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.rng = random.Random(seed)
+        self.inflight_limit = inflight
+        self.cross_stride = cross_stride
+        self._inflight: list[TxnTicket] = []
+        self._seq = itertools.count()
+        self._ran = False
+
+    # -- routing -----------------------------------------------------------
+
+    def _domain_of(self, entity: Entity) -> int:
+        return shard_of(entity, self.n_domains)
+
+    def final_state(self) -> dict[Entity, object]:
+        return self.store.final_state()
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self, stream) -> RuntimeMetrics:
+        """Drain ``stream`` of ``(transaction, program)`` pairs."""
+        if self._ran:
+            raise EngineError("a ShardRuntime instance is single-use")
+        self._ran = True
+        started = time.perf_counter()
+        for worker in self.workers:
+            worker.start()
+        stream = iter(stream)
+        exhausted = False
+        try:
+            while True:
+                self.metrics.ticks += 1
+                progress = 0
+                while (
+                    not exhausted
+                    and len(self._inflight) < self.inflight_limit
+                ):
+                    item = next(stream, None)
+                    if item is None:
+                        exhausted = True
+                        break
+                    transaction, program = item
+                    ticket = TxnTicket(
+                        transaction,
+                        program,
+                        transaction.txn,
+                        born_tick=self.metrics.ticks,
+                    )
+                    self.metrics.submitted += 1
+                    self._inflight.append(ticket)
+                    self._launch(ticket)
+                    progress += 1
+                progress += self._settle()
+                progress += self._maybe_flush(exhausted)
+                if exhausted and not self._inflight:
+                    break
+                if not progress:
+                    if self.deterministic:
+                        # Inline execution settles everything it starts;
+                        # a no-progress round means the flush rule can
+                        # never be met — an invariant violation.
+                        raise EngineError(
+                            "deterministic runtime made no progress"
+                        )
+                    self._wait_for_any()
+            per_worker = [worker.call(worker.finalize) for worker in self.workers]
+        finally:
+            for worker in self.workers:
+                worker.stop()
+        self.metrics.per_worker = per_worker
+        self.metrics.shard_stats = self.store.snapshot_stats()
+        self.metrics.elapsed = time.perf_counter() - started
+        return self.metrics
+
+    def _wait_for_any(self) -> None:
+        """Threaded idle path: block briefly on an outstanding task."""
+        for ticket in self._inflight:
+            if ticket.state is not TicketState.EXECUTING:
+                continue
+            future = ticket.future
+            if ticket.cross is not None:
+                state = ticket.cross
+                future = state.pending or (
+                    state.barrier[0] if state.barrier else None
+                )
+            if future is not None:
+                future.wait(timeout=0.005)
+                return
+        time.sleep(0.0002)
+
+    # -- launching ---------------------------------------------------------
+
+    def _launch(self, ticket: TxnTicket) -> None:
+        ticket.seq = next(self._seq)
+        ticket.attempt_no += 1
+        ticket.attempts = {}
+        ticket.future = None
+        ticket.cross = None
+        ticket.state = TicketState.EXECUTING
+        domains = sorted(
+            {self._domain_of(s.entity) for s in ticket.transaction.steps}
+        )
+        ticket.worker_ids = tuple(domains)
+        if ticket.attempt_no == 1:
+            if len(domains) == 1:
+                self.metrics.single_shard += 1
+            else:
+                self.metrics.cross_shard += 1
+        if len(domains) == 1:
+            worker = self.workers[domains[0]]
+            ticket.future = worker.post(
+                lambda w=worker, t=ticket: w.execute(t)
+            )
+            return
+        counts: dict[int, int] = {}
+        for step in ticket.transaction.steps:
+            domain = self._domain_of(step.entity)
+            counts[domain] = counts.get(domain, 0) + 1
+        ticket.cross = CrossState(counts)
+        ticket.cross.barrier = [
+            self.workers[domain].post(
+                lambda w=self.workers[domain], n=counts[domain], t=ticket:
+                w.begin_part(t, n)
+            )
+            for domain in domains
+        ]
+
+    def _post_next_step(self, ticket: TxnTicket) -> None:
+        """Hand the coordinator's next step to its owning worker.
+
+        The dispatcher is the only participant that sees all the
+        transaction's reads, so it computes every write value and
+        submits it explicitly; each worker only validates and stores its
+        own slice.
+        """
+        state = ticket.cross
+        step = ticket.transaction.steps[state.step_index]
+        domain = self._domain_of(step.entity)
+        worker = self.workers[domain]
+        attempt = ticket.attempts[domain]
+        if step.is_read:
+            state.pending = worker.post(
+                lambda w=worker, a=attempt, s=step: w.submit_part(a, s)
+            )
+            return
+        value = write_value(
+            ticket.program, ticket.key, state.write_index, state.reads
+        )
+        state.write_index += 1
+        state.pending = worker.post(
+            lambda w=worker, a=attempt, s=step, v=value:
+            w.submit_part(a, s, v)
+        )
+
+    def _advance_cross(self, ticket: TxnTicket) -> int:
+        """Drive one coordinator transition; returns 1 on progress.
+
+        With ``cross_stride == 0`` the coordinator *blocks* on each
+        worker reply, so a started cross-domain transaction runs to
+        completion with minimal lifetime — single-domain work on other
+        workers still proceeds underneath.  With a positive stride the
+        coordinator never blocks and yields after each transition,
+        maximally interleaving concurrent cross-domain transactions —
+        the adversarial (and, in deterministic mode, reproducible)
+        contention source the tests use.
+        """
+        state = ticket.cross
+        steps = ticket.transaction.steps
+        blocking = self.cross_stride == 0
+        try:
+            if state.phase == "begin":
+                if not blocking and not all(f.done for f in state.barrier):
+                    return 0
+                for future in state.barrier:
+                    future.result()
+                state.phase = "steps"
+                self._post_next_step(ticket)
+                return 1
+            if state.phase == "steps":
+                if not blocking and not state.pending.done:
+                    return 0
+                value = state.pending.result()
+                if steps[state.step_index].is_read:
+                    state.reads.append(value)
+                state.step_index += 1
+                if state.step_index < len(steps):
+                    self._post_next_step(ticket)
+                    return 1
+                state.phase = "finish"
+                state.barrier = [
+                    self.workers[domain].post(
+                        lambda w=self.workers[domain],
+                        a=ticket.attempts[domain]: w.finish_part(a)
+                    )
+                    for domain in ticket.worker_ids
+                ]
+                return 1
+            # finish barrier
+            if not blocking and not all(f.done for f in state.barrier):
+                return 0
+            for future in state.barrier:
+                future.result()
+        except TransactionAborted as aborted:
+            ticket.cross = None
+            self._handle_abort(ticket, aborted.reason)
+            return 1
+        ticket.cross = None
+        self._vote(ticket)
+        return 1
+
+    # -- settling ----------------------------------------------------------
+
+    def _vote(self, ticket: TxnTicket) -> None:
+        ticket.state = TicketState.BATCHED
+        self.group_commit.add(ticket)
+
+    def _settle(self) -> int:
+        progress = 0
+        for ticket in list(self._inflight):
+            if ticket.state is TicketState.EXECUTING:
+                if ticket.cross is not None:
+                    transitions = 0
+                    while (
+                        ticket.state is TicketState.EXECUTING
+                        and ticket.cross is not None
+                        and self._advance_cross(ticket)
+                    ):
+                        transitions += 1
+                        if (
+                            self.cross_stride
+                            and transitions >= self.cross_stride
+                        ):
+                            break
+                    progress += 1 if transitions else 0
+                elif ticket.future is not None and ticket.future.done:
+                    outcome, reason = ticket.future.result()
+                    ticket.future = None
+                    if outcome == "voted":
+                        self._vote(ticket)
+                    else:
+                        self._handle_abort(ticket, reason)
+                    progress += 1
+            elif ticket.state is TicketState.BACKOFF:
+                ticket.backoff_left -= 1
+                if ticket.backoff_left <= 0:
+                    self._launch(ticket)
+                    progress += 1
+                elif self.deterministic:
+                    # Inline mode must count the decrement as progress
+                    # (ticks are the only clock).  Threaded mode must
+                    # NOT: otherwise a backing-off ticket keeps the
+                    # dispatcher spinning at full speed, draining the
+                    # backoff in microseconds and stealing GIL time from
+                    # the workers it is waiting on — _wait_for_any's
+                    # brief sleep is what gives backoff real duration.
+                    progress += 1
+        return progress
+
+    def _handle_abort(
+        self, ticket: TxnTicket, reason: str, propagate: bool = True
+    ) -> None:
+        """Propagate the abort to every slice, then retry or give up.
+
+        Abort tasks are posted (not awaited): per-worker FIFO order
+        guarantees they apply before any step of the retry attempt
+        reaches the same worker.  Flush losers skip the propagation —
+        ``flush_apply`` already aborted their slice on every involved
+        worker inside the flush task.
+        """
+        self.metrics.aborted += 1
+        if propagate:
+            for domain, attempt in ticket.attempts.items():
+                self.workers[domain].post(
+                    lambda w=self.workers[domain], a=attempt:
+                    w.abort_part(a, "remote-abort")
+                )
+        if self.retry.exhausted(ticket.attempt_no):
+            self.metrics.gave_up += 1
+            ticket.state = TicketState.GAVE_UP
+            self._inflight.remove(ticket)
+            return
+        self.metrics.retries += 1
+        ticket.backoff_left = self.retry.delay(ticket.attempt_no, self.rng)
+        if ticket.backoff_left > 0:
+            ticket.state = TicketState.BACKOFF
+        else:
+            self._launch(ticket)
+
+    # -- group-commit flush ------------------------------------------------
+
+    def _maybe_flush(self, exhausted: bool) -> int:
+        if not len(self.group_commit):
+            return 0
+        forced = any(w.wants_epoch_close for w in self.workers)
+        batched = [
+            t for t in self._inflight if t.state is TicketState.BATCHED
+        ]
+        starved = len(batched) == len(self._inflight)
+        if self.group_commit.full or forced or starved or exhausted:
+            return self._flush(
+                forced=forced and not self.group_commit.full
+            )
+        return 0
+
+    def _deps_of(self, ticket: TxnTicket) -> set:
+        """Uncommitted logical transactions ``ticket`` read from.
+
+        Attempt dependency sets are mutated on worker threads; taking
+        the worker's domain lock reads them between tasks.
+        """
+        deps: set = set()
+        for domain, attempt in ticket.attempts.items():
+            with self.workers[domain].lock:
+                for dep in attempt.deps:
+                    if (
+                        dep.state is not TxnState.COMMITTED
+                        and dep.txn != ticket.key
+                    ):
+                        deps.add(dep.txn)
+        return deps
+
+    def _flush(self, forced: bool = False) -> int:
+        candidates, dep_map = self.group_commit.plan(self._deps_of)
+        if not candidates:
+            return 0
+        by_worker: dict[int, list[TxnTicket]] = {}
+        for ticket in candidates:
+            for domain in ticket.worker_ids:
+                by_worker.setdefault(domain, []).append(ticket)
+        involved = sorted(by_worker)
+
+        def decide(votes: dict) -> set:
+            return self.group_commit.commit_closure(votes, dep_map)
+
+        if self.deterministic:
+            votes: dict = {}
+            for domain in involved:
+                worker, tickets = self.workers[domain], by_worker[domain]
+                for key, ok in worker.call(
+                    lambda w=worker, ts=tickets: w.flush_votes(ts)
+                ).items():
+                    votes[key] = votes.get(key, True) and ok
+            committed = decide(votes)
+            for domain in involved:
+                worker, tickets = self.workers[domain], by_worker[domain]
+                worker.call(
+                    lambda w=worker, ts=tickets, c=committed:
+                    w.flush_apply(ts, c)
+                )
+        else:
+            rendezvous = FlushRendezvous(len(involved), decide)
+            futures = [
+                self.workers[domain].post(
+                    lambda w=self.workers[domain], ts=by_worker[domain]:
+                    w.flush(ts, rendezvous)
+                )
+                for domain in involved
+            ]
+            for future in futures:
+                future.result()
+            committed = rendezvous.decision
+
+        winners = [t for t in candidates if t.key in committed]
+        losers = [t for t in candidates if t.key not in committed]
+        self.group_commit.settle(winners, losers, forced=forced)
+        for ticket in winners:
+            ticket.state = TicketState.COMMITTED
+            self.metrics.committed += 1
+            self.metrics.latency.record(
+                self.metrics.ticks - ticket.born_tick
+            )
+            self._inflight.remove(ticket)
+        for ticket in losers:
+            self._handle_abort(ticket, "flush-abort", propagate=False)
+        return len(candidates)

@@ -1,0 +1,146 @@
+"""Runtime observability: transaction, group-commit and per-worker counters.
+
+The runtime's metrics are split from :class:`repro.engine.EngineMetrics`
+because the units differ: engine metrics count *attempts inside one
+conflict domain*, while runtime metrics count *logical transactions
+across domains* — a cross-shard transaction is one runtime commit but
+one engine commit per involved worker.  The per-worker engine metrics
+are attached verbatim for drill-down.
+
+``as_dict`` deliberately excludes wall-clock fields so that two
+same-seed deterministic runs serialize byte-identically — that is the
+reproducibility contract ``repro runtime --deterministic`` tests against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.metrics import LatencyStats
+
+
+@dataclass
+class GroupCommitStats:
+    """What the epoch-batched group commit did."""
+
+    #: flush rounds executed / transactions durably flushed by them.
+    batches: int = 0
+    flushed: int = 0
+    #: batched transactions that missed a flush because a read-from
+    #: dependency was not yet in a flushed (or the same) batch.
+    held_over: int = 0
+    #: flushes forced by an epoch-close request rather than a full batch.
+    forced: int = 0
+    #: transactions found dead at flush time (vote-no / cascade).
+    flush_aborts: int = 0
+    largest_batch: int = 0
+
+    @property
+    def mean_batch(self) -> float:
+        return self.flushed / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "batches": self.batches,
+            "flushed": self.flushed,
+            "mean_batch": round(self.mean_batch, 3),
+            "largest_batch": self.largest_batch,
+            "held_over": self.held_over,
+            "forced": self.forced,
+            "flush_aborts": self.flush_aborts,
+        }
+
+
+@dataclass
+class RuntimeMetrics:
+    """Everything the dispatcher counts while draining a stream."""
+
+    #: worker/domain topology (fixed at construction).
+    n_workers: int = 0
+    effective_domains: int = 0
+    partitionable: bool = True
+    deterministic: bool = False
+
+    #: logical transactions pulled from the stream / durably committed.
+    submitted: int = 0
+    committed: int = 0
+    #: attempt-level aborts observed by the dispatcher, session retries
+    #: re-launched, and transactions dropped after exhausting retries.
+    aborted: int = 0
+    retries: int = 0
+    gave_up: int = 0
+    #: routing mix, counted once per logical transaction.
+    single_shard: int = 0
+    cross_shard: int = 0
+    #: dispatcher rounds (the latency / backoff unit).
+    ticks: int = 0
+    #: wall-clock seconds (excluded from as_dict; see module docstring).
+    elapsed: float = 0.0
+    latency: LatencyStats = field(default_factory=LatencyStats)
+    group_commit: GroupCommitStats = field(default_factory=GroupCommitStats)
+    #: per-worker engine metrics dicts, in worker order (set at shutdown).
+    per_worker: list[dict] = field(default_factory=list)
+    #: per-shard store stats at shutdown (versions retained per shard).
+    shard_stats: list[dict] = field(default_factory=list)
+
+    @property
+    def commit_rate(self) -> float:
+        """Committed fraction of submitted transactions."""
+        return self.committed / self.submitted if self.submitted else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per wall-clock second."""
+        return self.committed / self.elapsed if self.elapsed > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "workers": self.n_workers,
+            "domains": self.effective_domains,
+            "partitionable": self.partitionable,
+            "deterministic": self.deterministic,
+            "submitted": self.submitted,
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "retries": self.retries,
+            "gave_up": self.gave_up,
+            "single_shard": self.single_shard,
+            "cross_shard": self.cross_shard,
+            "ticks": self.ticks,
+            "latency": self.latency.as_dict(),
+            "group_commit": self.group_commit.as_dict(),
+            "per_worker": list(self.per_worker),
+            "shard_stats": list(self.shard_stats),
+        }
+
+    def report(self) -> str:
+        """A human-readable block for the CLI.
+
+        Wall-clock throughput is only shown for threaded runs;
+        deterministic mode keeps the report byte-stable across runs.
+        """
+        gc = self.group_commit
+        rate = (
+            ""
+            if self.deterministic or self.elapsed <= 0
+            else f", {self.throughput:.0f} txn/s"
+        )
+        mode = "deterministic" if self.deterministic else "threaded"
+        lines = [
+            f"workers       {self.n_workers}  "
+            f"({self.effective_domains} conflict domain"
+            f"{'s' if self.effective_domains != 1 else ''}, {mode})",
+            f"submitted     {self.submitted}",
+            f"committed     {self.committed}  "
+            f"(rate {self.commit_rate:.3f}{rate})",
+            f"aborted       {self.aborted}  "
+            f"(retries {self.retries}, gave up {self.gave_up})",
+            f"routing       {self.single_shard} single-shard, "
+            f"{self.cross_shard} cross-shard",
+            f"group commit  {gc.flushed} txns in {gc.batches} batches "
+            f"(mean {gc.mean_batch:.1f}, largest {gc.largest_batch}, "
+            f"held over {gc.held_over}, forced {gc.forced})",
+            f"latency       {self.latency.summary()}",
+            f"ticks         {self.ticks}",
+        ]
+        return "\n".join(lines)

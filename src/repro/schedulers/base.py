@@ -22,6 +22,18 @@ class Scheduler(abc.ABC):
     #: Human-readable name used in benchmark tables.
     name: str = "scheduler"
 
+    #: Whether this scheduler's conflict state partitions by entity.
+    #: A partitionable scheduler makes identical accept/reject decisions
+    #: when its state is split into per-shard instances, each fed only
+    #: the steps of its shard's entities (provided cross-shard transaction
+    #: *order* is agreed up front — see :meth:`prime_transaction`).
+    #: MVTO and SI qualify: their conflict checks only compare accesses to
+    #: the same entity.  Lock-table and graph schedulers (2PL, 2V2PL, SGT)
+    #: do not: a lock release or a serialization-graph cycle couples
+    #: entities across shards, so the parallel runtime routes them through
+    #: a shared conflict domain (:mod:`repro.runtime.shared`).
+    shard_partitionable: bool = False
+
     def __init__(self) -> None:
         self.accepted_steps: list[Step] = []
         self.dead: bool = False
@@ -56,6 +68,27 @@ class Scheduler(abc.ABC):
     @abc.abstractmethod
     def _reset(self) -> None:
         """Subclass part of :meth:`reset`."""
+
+    # -- shard-parallel extras ---------------------------------------------
+
+    def prime_transaction(self, txn: TxnId, seq: int) -> None:
+        """Fix ``txn``'s global ordering token before its first step.
+
+        The parallel runtime (:mod:`repro.runtime`) splits a partitionable
+        scheduler into one instance per shard.  Any scheduler that orders
+        transactions by *arrival* (MVTO timestamps) would then derive a
+        different order on each shard — a cross-shard transaction can be
+        first-seen at different relative positions per shard.  Priming
+        hands every shard the same dispatcher-assigned sequence number, so
+        all shards realize one global serialization order.  Primes survive
+        :meth:`reset` (abort-replay must re-derive identical decisions)
+        and are dropped only by :meth:`clear_primes` at epoch boundaries.
+        The default is a no-op: schedulers that don't order by arrival
+        need no priming.
+        """
+
+    def clear_primes(self) -> None:
+        """Forget all primed transactions (epoch boundary; default no-op)."""
 
     # -- multiversion extras -----------------------------------------------
 

@@ -29,6 +29,12 @@ class TwoVersionTwoPL(Scheduler):
     """Two-version 2PL with certify-at-completion."""
 
     name = "2v2pl"
+    #: Certification inspects *every* entity a transaction wrote against
+    #: unfinished readers — a cross-entity (hence cross-shard) check, so
+    #: the conflict state is one shared lock table, not per-shard state.
+    #: The parallel runtime runs 2V2PL through the shared-lock-table
+    #: adapter (:mod:`repro.runtime.shared`).
+    shard_partitionable = False
 
     def __init__(self, steps_per_txn: dict[TxnId, int] | None = None) -> None:
         super().__init__()

@@ -34,10 +34,19 @@ class MVTOScheduler(Scheduler):
     """Multiversion timestamp ordering with reject-on-invalidation."""
 
     name = "mvto"
+    #: Timestamp comparisons only relate accesses to the same entity, so
+    #: per-shard MVTO instances with primed (globally agreed) timestamps
+    #: decide exactly like one global instance.
+    shard_partitionable = True
 
     def __init__(self) -> None:
         super().__init__()
         self._timestamps: dict[TxnId, int] = {}
+        #: dispatcher-assigned timestamps (parallel runtime); survive
+        #: _reset so abort-replay re-derives identical decisions.  Do not
+        #: mix primed and arrival-order transactions in one epoch: primes
+        #: use a different counter space.
+        self._primed: dict[TxnId, int] = {}
         self._versions: dict[Entity, list[_Version]] = {}
         self._assignments: dict[int, int | str] = {}
 
@@ -46,9 +55,17 @@ class MVTOScheduler(Scheduler):
         self._versions = {}
         self._assignments = {}
 
+    def prime_transaction(self, txn: TxnId, seq: int) -> None:
+        self._primed[txn] = seq
+
+    def clear_primes(self) -> None:
+        self._primed.clear()
+
     def _timestamp(self, txn: TxnId) -> int:
         if txn not in self._timestamps:
-            self._timestamps[txn] = len(self._timestamps)
+            self._timestamps[txn] = self._primed.get(
+                txn, len(self._timestamps)
+            )
         return self._timestamps[txn]
 
     def _chain(self, entity: Entity) -> list[_Version]:

@@ -18,6 +18,12 @@ class SGTScheduler(Scheduler):
     """Incremental conflict-graph tester."""
 
     name = "sgt"
+    #: A conflict-graph cycle can thread through entities on different
+    #: shards; per-shard subgraphs would each be acyclic while the union
+    #: is not.  The graph is inherently shared state, so the parallel
+    #: runtime routes SGT through the shared-lock-table adapter
+    #: (:mod:`repro.runtime.shared`).
+    shard_partitionable = False
 
     def __init__(self) -> None:
         super().__init__()

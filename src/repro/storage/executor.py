@@ -35,6 +35,22 @@ def herbrand_value(txn: TxnId, write_index: int, reads: list) -> tuple:
     return ("w", txn, write_index, tuple(reads))
 
 
+def write_value(
+    program: Program | None, txn: TxnId, write_index: int, reads: list
+) -> Any:
+    """The value a transaction's ``write_index``-th write produces.
+
+    The one definition of write semantics — program if present, Herbrand
+    otherwise — shared by the offline executor, the online engine, and
+    the parallel runtime's cross-shard dispatcher.  The dispatcher in
+    particular must compute byte-for-byte what the engine would, so
+    these call sites may never diverge.
+    """
+    if program is not None:
+        return program(write_index, list(reads))
+    return herbrand_value(txn, write_index, reads)
+
+
 @dataclass
 class ExecutionResult:
     """Everything observable about one execution."""
@@ -96,10 +112,8 @@ def execute(
             reads = reads_so_far.get(step.txn, [])
             k = write_counter.get(step.txn, 0)
             write_counter[step.txn] = k + 1
-            if programs is not None and step.txn in programs:
-                value = programs[step.txn](k, list(reads))
-            else:
-                value = herbrand_value(step.txn, k, reads)
+            program = (programs or {}).get(step.txn)
+            value = write_value(program, step.txn, k, reads)
             store.install(step.entity, step.txn, value, position)
             write_values[position] = value
 

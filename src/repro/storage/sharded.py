@@ -9,10 +9,21 @@ scaling step (per-shard locks, per-shard GC, multi-backend) builds on.
 
 The interface is a strict superset of :class:`MultiversionStore`, so the
 online engine and the garbage collector accept either interchangeably.
+
+Concurrency: every shard carries an :class:`threading.RLock`.  The
+parallel runtime (:mod:`repro.runtime`) confines each shard's mutations
+to that shard's worker, which holds the lock for the duration of each
+task; cross-thread observers (store-wide stats, final state) take the
+locks per shard, so they always see a shard between tasks, never
+mid-mutation.  The locks are reentrant because a worker task may call
+back into store-wide aggregates (epoch close reads ``version_count``)
+while already holding its own shard.  Single-threaded users pay one
+uncontended acquire per aggregate call, which is noise.
 """
 
 from __future__ import annotations
 
+import threading
 import zlib
 from typing import Any, Iterator
 
@@ -23,6 +34,28 @@ from repro.storage.mvstore import MultiversionStore, Version
 def shard_of(entity: Entity, n_shards: int) -> int:
     """Stable shard index of an entity (crc32 of its name)."""
     return zlib.crc32(str(entity).encode("utf-8")) % n_shards
+
+
+class ShardLockSet:
+    """Reusable, reentrant context manager over a set of shard locks.
+
+    Acquires in index order (so overlapping lock sets cannot cycle) and
+    releases in reverse.  Unlike ``contextlib.contextmanager`` products
+    it can be entered any number of times — the runtime's single-domain
+    worker enters it once per task.
+    """
+
+    def __init__(self, locks: list[threading.RLock]) -> None:
+        self._locks = list(locks)
+
+    def __enter__(self) -> "ShardLockSet":
+        for lock in self._locks:
+            lock.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for lock in reversed(self._locks):
+            lock.release()
 
 
 class ShardedMultiversionStore:
@@ -42,10 +75,23 @@ class ShardedMultiversionStore:
         self.shards: list[MultiversionStore] = [
             MultiversionStore(part) for part in partitioned
         ]
+        self.locks: list[threading.RLock] = [
+            threading.RLock() for _ in range(n_shards)
+        ]
 
     def shard_for(self, entity: Entity) -> MultiversionStore:
         """The shard that owns ``entity``."""
         return self.shards[shard_of(entity, self.n_shards)]
+
+    # -- per-shard locking -------------------------------------------------
+
+    def lock_of(self, entity: Entity) -> threading.RLock:
+        """The lock guarding ``entity``'s shard."""
+        return self.locks[shard_of(entity, self.n_shards)]
+
+    def locked_all(self) -> ShardLockSet:
+        """A reusable context manager holding every shard lock."""
+        return ShardLockSet(self.locks)
 
     # -- MultiversionStore interface, delegated per entity ----------------
 
@@ -76,20 +122,50 @@ class ShardedMultiversionStore:
         return self.shard_for(entity).versions(entity)
 
     def entities(self) -> Iterator[Entity]:
-        for shard in self.shards:
-            yield from shard.entities()
+        for shard, lock in zip(self.shards, self.locks):
+            with lock:
+                snapshot = list(shard.entities())
+            yield from snapshot
 
     def version_count(self) -> int:
-        return sum(shard.version_count() for shard in self.shards)
+        total = 0
+        for shard, lock in zip(self.shards, self.locks):
+            with lock:
+                total += shard.version_count()
+        return total
 
     def final_state(self) -> dict[Entity, Any]:
         state: dict[Entity, Any] = {}
-        for shard in self.shards:
-            state.update(shard.final_state())
+        for shard, lock in zip(self.shards, self.locks):
+            with lock:
+                state.update(shard.final_state())
         return state
 
     # -- sharding introspection -------------------------------------------
 
     def shard_sizes(self) -> list[int]:
         """Version count per shard (balance diagnostic)."""
-        return [shard.version_count() for shard in self.shards]
+        sizes = []
+        for shard, lock in zip(self.shards, self.locks):
+            with lock:
+                sizes.append(shard.version_count())
+        return sizes
+
+    def snapshot_stats(self) -> list[dict]:
+        """Per-shard stats, each captured under that shard's lock.
+
+        Safe to call from any thread while workers run; each row is
+        internally consistent (taken between worker tasks), though rows
+        of different shards may be from slightly different moments.
+        """
+        stats = []
+        for index, (shard, lock) in enumerate(zip(self.shards, self.locks)):
+            with lock:
+                stats.append(
+                    {
+                        "shard": index,
+                        "versions": shard.version_count(),
+                        "entities": sum(1 for _ in shard.entities()),
+                    }
+                )
+        return stats

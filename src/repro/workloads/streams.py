@@ -1,13 +1,34 @@
-"""Schedule streams for the acceptance-rate experiments (E10)."""
+"""Schedule and transaction streams for stream-driven experiments.
+
+Two kinds of streams live here:
+
+* :func:`schedule_stream` — random whole schedules for the
+  acceptance-rate experiments (E10).
+* :class:`ShardedBankScenario` — an open-ended transfer stream laid out
+  for the parallel shard runtime (E16): accounts are pre-bucketed per
+  shard, so the scenario can dial the exact mix of shard-local
+  ("cold"), hot-shard-contended, and cross-shard transactions — the
+  knobs that decide how much parallelism sharding can unlock.
+"""
 
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
 from repro.model.enumeration import random_schedule
 from repro.model.schedules import Schedule
 from repro.model.steps import Entity
+from repro.model.transactions import Transaction
+from repro.storage.executor import Program
+from repro.storage.sharded import shard_of
+from repro.workloads.bank import (
+    audit_transaction,
+    total_balance,
+    transfer_program,
+    transfer_transaction,
+)
 
 
 def schedule_stream(
@@ -30,3 +51,140 @@ def schedule_stream(
         yield random_schedule(
             n_txns, entities, steps_per_txn, rng, read_fraction, zipf_skew
         )
+
+
+def entities_by_shard(
+    n_shards: int, per_shard: int, prefix: str = "acct"
+) -> list[list[Entity]]:
+    """``per_shard`` entity names for each of ``n_shards`` shards.
+
+    Probes ``{prefix}0, {prefix}1, ...`` and buckets by the same crc32
+    hash the sharded store uses, so a scenario can *construct*
+    shard-local or cross-shard access patterns instead of hoping the
+    hash cooperates.  Deterministic: same arguments, same names.
+    """
+    if n_shards < 1 or per_shard < 1:
+        raise ValueError("n_shards and per_shard must be >= 1")
+    buckets: list[list[Entity]] = [[] for _ in range(n_shards)]
+    candidate = 0
+    # crc32 is uniform enough that a few hundred probes fill any sane
+    # layout; the bound only guards pathological arguments.
+    limit = 1000 * n_shards * per_shard
+    while any(len(bucket) < per_shard for bucket in buckets):
+        if candidate >= limit:  # pragma: no cover - defensive
+            raise ValueError(
+                f"could not fill {n_shards}x{per_shard} shard buckets"
+            )
+        name = f"{prefix}{candidate}"
+        candidate += 1
+        bucket = buckets[shard_of(name, n_shards)]
+        if len(bucket) < per_shard:
+            bucket.append(name)
+    return buckets
+
+
+@dataclass
+class ShardedBankScenario:
+    """A transfer stream with explicit shard locality and skew.
+
+    Each transaction moves money between two accounts (the bank
+    workload's ``R R W W`` transfer, conservation invariant included).
+    The account pair is drawn by locality:
+
+    * with probability ``hot_fraction``: both accounts from the *hot*
+      shards (``hot_shards`` of them) — shard-local but contended;
+    * else with probability ``cross_fraction``: accounts from two
+      different shards — exercises the all-shards-vote commit path;
+    * otherwise: both accounts from one uniformly chosen shard —
+      the cold, embarrassingly parallel majority.
+
+    ``audit_every`` mixes in read-only multi-shard audits (long
+    readers), the workload multiversion schedulers exist for.
+    """
+
+    n_shards: int = 4
+    accounts_per_shard: int = 4
+    cross_fraction: float = 0.1
+    hot_fraction: float = 0.0
+    hot_shards: int = 1
+    audit_every: int = 0
+    audit_width: int = 4
+    initial_balance: int = 100
+    seed: int = 0
+    by_shard: list[list[Entity]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cross_fraction <= 1.0:
+            raise ValueError("cross_fraction must be in [0, 1]")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        if not 1 <= self.hot_shards <= self.n_shards:
+            raise ValueError("hot_shards must be in [1, n_shards]")
+        if self.accounts_per_shard < 2:
+            # A shard-local pair needs two distinct accounts.
+            raise ValueError("accounts_per_shard must be >= 2")
+        self.by_shard = entities_by_shard(
+            self.n_shards, self.accounts_per_shard
+        )
+
+    @property
+    def accounts(self) -> list[Entity]:
+        return [a for bucket in self.by_shard for a in bucket]
+
+    def initial_state(self) -> dict[Entity, int]:
+        return {a: self.initial_balance for a in self.accounts}
+
+    def invariant_holds(self, state: dict[Entity, int]) -> bool:
+        """Conservation: transfers never create or destroy money."""
+        full = dict(self.initial_state())
+        full.update(state)
+        expected = self.initial_balance * len(self.accounts)
+        return total_balance(full) == expected
+
+    def _pick_pair(self, rng: random.Random) -> tuple[Entity, Entity]:
+        if self.hot_fraction > 0 and rng.random() < self.hot_fraction:
+            pool = [
+                a
+                for bucket in self.by_shard[: self.hot_shards]
+                for a in bucket
+            ]
+            pair = rng.sample(pool, 2)
+        # A single-shard layout has no second shard to cross into:
+        # every transfer is shard-local there.
+        elif self.n_shards > 1 and rng.random() < self.cross_fraction:
+            first, second = rng.sample(range(self.n_shards), 2)
+            pair = [
+                rng.choice(self.by_shard[first]),
+                rng.choice(self.by_shard[second]),
+            ]
+        else:
+            bucket = self.by_shard[rng.randrange(self.n_shards)]
+            pair = rng.sample(bucket, 2)
+        return pair[0], pair[1]
+
+    def transaction_stream(
+        self, n_transactions: int
+    ) -> Iterator[tuple[Transaction, Program | None]]:
+        """A reproducible stream of ``(transaction, program)`` pairs.
+
+        Unlike the bank/inventory workloads (whose shared RNG makes a
+        stream single-shot per instance), each call derives a fresh RNG
+        from the seed, so one scenario can replay its stream — that is
+        what lets a benchmark feed the identical stream to the serial
+        engine and the runtime.
+        """
+        rng = random.Random(f"sharded-bank-stream:{self.seed}")
+        audits = 0
+        for k in range(1, n_transactions + 1):
+            if self.audit_every and k % self.audit_every == 0:
+                audits += 1
+                width = min(self.audit_width, len(self.accounts))
+                audited = rng.sample(self.accounts, width)
+                yield audit_transaction(f"a{audits}", audited), None
+                continue
+            source, target = self._pick_pair(rng)
+            amount = rng.randint(1, 20)
+            yield (
+                transfer_transaction(f"t{k}", source, target),
+                transfer_program(amount),
+            )

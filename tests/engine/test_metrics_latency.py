@@ -1,0 +1,83 @@
+"""Per-transaction commit latency: LatencyStats and driver wiring."""
+
+from repro.engine import (
+    ConcurrentDriver,
+    LatencyStats,
+    OnlineEngine,
+    RetryPolicy,
+    scheduler_factory,
+)
+from repro.workloads.bank import BankWorkload
+
+
+class TestLatencyStats:
+    def test_empty(self):
+        stats = LatencyStats()
+        assert stats.count == 0
+        assert stats.min == 0 and stats.max == 0
+        assert stats.mean == 0.0 and stats.p95 == 0
+        assert stats.as_dict()["count"] == 0
+        assert stats.summary() == "no samples"
+
+    def test_order_statistics(self):
+        stats = LatencyStats()
+        for sample in [5, 1, 9, 3, 7]:
+            stats.record(sample)
+        assert stats.count == 5
+        assert stats.min == 1
+        assert stats.max == 9
+        assert stats.mean == 5.0
+        assert stats.p95 == 9
+
+    def test_p95_nearest_rank(self):
+        stats = LatencyStats()
+        for sample in range(1, 101):  # 1..100
+            stats.record(sample)
+        assert stats.p95 == 95
+        assert stats.min == 1 and stats.max == 100
+
+    def test_as_dict_fields(self):
+        stats = LatencyStats()
+        stats.record(4)
+        assert stats.as_dict() == {
+            "count": 1, "min": 4, "mean": 4.0, "p95": 4, "max": 4,
+        }
+
+
+class TestDriverLatency:
+    def run_bank(self, seed=3):
+        workload = BankWorkload(n_accounts=6, hot_fraction=0.5, seed=seed)
+        engine = OnlineEngine(
+            scheduler_factory("mvto"),
+            initial=workload.initial_state(),
+            epoch_max_steps=48,
+        )
+        driver = ConcurrentDriver(
+            engine,
+            workload.transaction_stream(50, audit_every=6),
+            n_sessions=4,
+            retry=RetryPolicy(),
+            seed=seed,
+        )
+        return driver.run()
+
+    def test_every_commit_records_a_sample(self):
+        metrics = self.run_bank()
+        assert metrics.latency.count == metrics.committed
+        assert metrics.ticks > 0
+        assert 0 <= metrics.latency.min <= metrics.latency.p95
+        assert metrics.latency.p95 <= metrics.latency.max <= metrics.ticks
+
+    def test_latency_in_report_and_dict(self):
+        metrics = self.run_bank()
+        assert "latency" in metrics.report()
+        as_dict = metrics.as_dict()
+        assert as_dict["latency"]["count"] == metrics.committed
+        assert "p95" in as_dict["latency"]
+
+    def test_latency_spans_retries(self):
+        """A retried transaction's latency is measured from its first
+        attempt, so retried commits cannot undercut their backoff."""
+        metrics = self.run_bank()
+        if metrics.retries:
+            assert metrics.latency.max >= 1

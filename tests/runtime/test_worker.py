@@ -1,0 +1,302 @@
+"""Shard workers driven directly: votes, aborts, flush, adapters.
+
+The macro runtime keeps conflicts rare by design (whole transactions
+execute atomically inside a domain), so these tests construct the
+adversarial interleavings by hand through the worker's cross-shard
+surface (``begin_part``/``submit_part``/``finish_part``) and check every
+branch of the vote / flush-apply / abort machinery deterministically.
+"""
+
+import threading
+
+import pytest
+
+from repro.engine import EngineError, OnlineEngine, TransactionAborted, TxnState
+from repro.engine.factory import scheduler_factory
+from repro.model.steps import read, write
+from repro.model.transactions import Transaction
+from repro.runtime.dispatch import TxnTicket
+from repro.runtime.shared import (
+    DomainPlan,
+    LockedScheduler,
+    locked_factory,
+    plan_domains,
+)
+from repro.runtime.worker import FlushRendezvous, ShardWorker, WorkerFuture
+from repro.schedulers.mvto import MVTOScheduler
+from repro.schedulers.sgt import SGTScheduler
+
+
+def make_worker(scheduler="mvto", initial=None, **engine_kwargs):
+    engine_kwargs.setdefault("hold_commits", True)
+    engine_kwargs.setdefault("gc_enabled", False)
+    engine = OnlineEngine(
+        scheduler_factory(scheduler),
+        n_shards=1,
+        initial=initial or {"x": 0, "y": 0},
+        **engine_kwargs,
+    )
+    return ShardWorker(0, engine, deterministic=True)
+
+
+def ticket_for(transaction, seq, program=None):
+    return TxnTicket(
+        transaction, program, transaction.txn, born_tick=0, seq=seq
+    )
+
+
+def transfer(txn, a="x", b="y"):
+    return Transaction(
+        txn, (read(txn, a), read(txn, b), write(txn, a), write(txn, b))
+    )
+
+
+class TestExecute:
+    def test_clean_execute_votes_and_holds(self):
+        worker = make_worker()
+        ticket = ticket_for(transfer("t1"), seq=0)
+        outcome, reason = worker.execute(ticket)
+        assert (outcome, reason) == ("voted", None)
+        attempt = ticket.attempts[0]
+        # Complete but commit-held: group commit decides durability.
+        assert attempt.state is TxnState.PENDING
+        assert attempt.hold
+
+    def test_mvto_rejection_reports_abort(self):
+        """An old-timestamp write after a younger read is rejected."""
+        worker = make_worker("mvto")
+        old = ticket_for(Transaction("old", (write("old", "x"),)), seq=1)
+        young = ticket_for(Transaction("young", (read("young", "x"),)), seq=2)
+        assert worker.execute(young)[0] == "voted"
+        outcome, reason = worker.execute(old)
+        assert outcome == "aborted"
+        assert reason == "rejected"
+        assert worker.engine.metrics.aborted_rejected == 1
+
+    def test_retry_with_new_seq_succeeds(self):
+        worker = make_worker("mvto")
+        young = ticket_for(Transaction("young", (read("young", "x"),)), seq=2)
+        worker.execute(young)
+        loser = ticket_for(Transaction("old", (write("old", "x"),)), seq=1)
+        assert worker.execute(loser)[0] == "aborted"
+        retry = ticket_for(Transaction("old", (write("old", "x"),)), seq=3)
+        assert worker.execute(retry)[0] == "voted"
+
+
+class TestCrossParts:
+    def test_parts_protocol_and_explicit_values(self):
+        worker = make_worker()
+        ticket = ticket_for(
+            Transaction("c1", (read("c1", "x"), write("c1", "x"))), seq=0
+        )
+        attempt = worker.begin_part(ticket, 2)
+        value = worker.submit_part(attempt, read("c1", "x"))
+        assert value == 0
+        worker.submit_part(attempt, write("c1", "x"), 41)
+        worker.finish_part(attempt)
+        assert attempt.state is TxnState.PENDING
+        assert worker.engine.store.latest("x").value == 41
+
+    def test_abort_part_is_idempotent(self):
+        worker = make_worker()
+        ticket = ticket_for(Transaction("c1", (write("c1", "x"),)), seq=0)
+        attempt = worker.begin_part(ticket, 1)
+        worker.submit_part(attempt, write("c1", "x"), 7)
+        worker.abort_part(attempt, "remote-abort")
+        assert attempt.state is TxnState.ABORTED
+        worker.abort_part(attempt, "remote-abort")  # no-op
+        assert worker.engine.metrics.aborted_external == 1
+        # The aborted write's version is gone.
+        assert worker.engine.store.latest("x").value == 0
+
+    def test_submit_after_remote_abort_raises(self):
+        worker = make_worker()
+        ticket = ticket_for(
+            Transaction("c1", (write("c1", "x"), write("c1", "y"))), seq=0
+        )
+        attempt = worker.begin_part(ticket, 2)
+        worker.submit_part(attempt, write("c1", "x"), 1)
+        worker.abort_part(attempt, "remote-abort")
+        with pytest.raises(TransactionAborted):
+            worker.submit_part(attempt, write("c1", "y"), 2)
+
+
+class TestFlush:
+    def _voted(self, worker, txn, steps, seq):
+        ticket = ticket_for(Transaction(txn, steps), seq=seq)
+        outcome, _ = worker.execute(ticket)
+        assert outcome == "voted"
+        return ticket
+
+    def test_flush_commits_dependency_chain_in_one_batch(self):
+        worker = make_worker()
+        writer = self._voted(worker, "w", (write("w", "x"),), seq=0)
+        reader = self._voted(worker, "r", (read("r", "x"),), seq=1)
+        # The reader consumed the writer's uncommitted (held) version.
+        assert worker.engine.store.latest("x").value is not None
+        assert reader.attempts[0].deps == {writer.attempts[0]}
+        votes = worker.flush_votes([writer, reader])
+        assert votes == {"w": True, "r": True}
+        losers = worker.flush_apply([writer, reader], {"w", "r"})
+        assert losers == []
+        assert writer.attempts[0].state is TxnState.COMMITTED
+        assert reader.attempts[0].state is TxnState.COMMITTED
+
+    def test_flush_apply_aborts_undecided(self):
+        worker = make_worker()
+        alive = self._voted(worker, "a", (write("a", "x"),), seq=0)
+        losers = worker.flush_apply([alive], set())
+        assert losers == ["a"]
+        assert alive.attempts[0].state is TxnState.ABORTED
+
+    def test_dead_member_votes_no(self):
+        worker = make_worker()
+        doomed = self._voted(worker, "d", (write("d", "x"),), seq=0)
+        worker.abort_part(doomed.attempts[0], "remote-abort")
+        assert worker.flush_votes([doomed]) == {"d": False}
+
+    def test_bad_plan_raises_engine_error(self):
+        """Committing a reader without its in-batch dependency is a
+        planner bug, and the worker refuses to paper over it."""
+        worker = make_worker()
+        writer = self._voted(worker, "w", (write("w", "x"),), seq=0)
+        reader = self._voted(worker, "r", (read("r", "x"),), seq=1)
+        assert reader.attempts[0].deps  # actually depends on the writer
+        with pytest.raises(EngineError):
+            worker.flush_apply([writer, reader], {"r"})
+
+
+class TestEpochs:
+    def test_epoch_closes_only_when_quiescent(self):
+        worker = make_worker(epoch_max_steps=2)
+        held = ticket_for(
+            Transaction("t", (write("t", "x"), write("t", "y"))), seq=0
+        )
+        worker.execute(held)
+        assert worker.wants_epoch_close
+        assert not worker.maybe_close_epoch()  # held attempt is live
+        worker.flush_apply([held], {"t"})  # flush triggers the close
+        assert worker.engine.metrics.epochs_closed == 1
+
+    def test_finalize_rejects_live_attempts(self):
+        worker = make_worker()
+        worker.execute(ticket_for(Transaction("t", (write("t", "x"),)), 0))
+        with pytest.raises(EngineError):
+            worker.finalize()
+
+
+class TestThreadedWorker:
+    def test_tasks_run_on_worker_thread_in_order(self):
+        worker = make_worker()
+        worker.deterministic = False
+        worker.start()
+        try:
+            order = []
+            futures = [
+                worker.post(lambda k=k: order.append(k) or k)
+                for k in range(20)
+            ]
+            assert [f.result() for f in futures] == list(range(20))
+            assert order == list(range(20))
+        finally:
+            worker.stop()
+
+    def test_exceptions_relayed(self):
+        worker = make_worker()
+        worker.deterministic = False
+        worker.start()
+        try:
+            def boom():
+                raise TransactionAborted("t", "rejected")
+
+            with pytest.raises(TransactionAborted):
+                worker.post(boom).result()
+        finally:
+            worker.stop()
+
+
+class TestRendezvous:
+    def test_last_arriver_decides_and_all_agree(self):
+        decisions = []
+        rendezvous = FlushRendezvous(
+            2, lambda votes: {k for k, ok in votes.items() if ok}
+        )
+
+        def party(votes):
+            decisions.append(rendezvous.exchange(votes))
+
+        threads = [
+            threading.Thread(target=party, args=({"a": True, "b": True},)),
+            threading.Thread(target=party, args=({"b": False, "c": True},)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # b was voted down by one party: AND semantics.
+        assert decisions == [{"a", "c"}, {"a", "c"}]
+        assert rendezvous.decision == {"a", "c"}
+
+    def test_decision_before_votes_raises(self):
+        rendezvous = FlushRendezvous(1, lambda votes: set())
+        with pytest.raises(RuntimeError):
+            rendezvous.decision
+
+
+class TestSharedAdapter:
+    def test_plan_partitionable(self):
+        plan = plan_domains(scheduler_factory("mvto"), 4)
+        assert plan == DomainPlan(4, 4, True, "mvto")
+        assert "partitioned" in plan.note
+
+    def test_plan_shared_lock_table(self):
+        for name in ("sgt", "2pl", "2v2pl"):
+            plan = plan_domains(scheduler_factory(name), 4)
+            assert plan.n_domains == 1
+            assert not plan.partitionable
+            assert "shared lock table" in plan.note
+
+    def test_locked_scheduler_delegates(self):
+        inner = SGTScheduler()
+        locked = LockedScheduler(inner)
+        assert locked.submit(read("t1", "x"))
+        assert locked.accepted_steps == [read("t1", "x")]
+        assert not locked.dead
+        assert locked.source_of_read(0) is None  # single-version
+        locked.reset()
+        assert locked.accepted_steps == []
+        assert locked.name == "sgt+lock"
+        assert not locked.shard_partitionable
+
+    def test_locked_factory_wraps(self):
+        factory = locked_factory(scheduler_factory("sgt"))
+        product = factory({})
+        assert isinstance(product, LockedScheduler)
+
+    def test_priming_survives_reset_until_cleared(self):
+        scheduler = MVTOScheduler()
+        scheduler.prime_transaction("t", 42)
+        scheduler.submit(read("t", "x"))
+        assert scheduler._timestamps["t"] == 42
+        scheduler.reset()  # abort-replay path keeps primes
+        scheduler.submit(read("t", "x"))
+        assert scheduler._timestamps["t"] == 42
+        scheduler.clear_primes()  # epoch boundary drops them
+        scheduler.reset()
+        scheduler.submit(read("t", "x"))
+        assert scheduler._timestamps["t"] == 0
+
+
+class TestWorkerFuture:
+    def test_resolve_and_done(self):
+        future = WorkerFuture()
+        assert not future.done
+        future.resolve(5)
+        assert future.done
+        assert future.result() == 5
+
+    def test_reject_reraises(self):
+        future = WorkerFuture()
+        future.reject(ValueError("nope"))
+        with pytest.raises(ValueError):
+            future.result()

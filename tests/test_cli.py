@@ -79,6 +79,109 @@ class TestSat:
         assert "UNSAT" in capsys.readouterr().out
 
 
+class TestArgValidation:
+    """Bad numeric arguments die at parse time with a usage error."""
+
+    def test_hot_fraction_out_of_range(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["engine", "--hot-fraction", "1.5"])
+        assert excinfo.value.code == 2
+        assert "must be in [0, 1]" in capsys.readouterr().err
+
+    def test_hot_fraction_not_a_number(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["engine", "--hot-fraction", "hot"])
+        assert excinfo.value.code == 2
+        assert "not a number" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag", ["--shards", "--sessions", "--txns"])
+    def test_engine_counts_must_be_positive(self, flag, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["engine", flag, "0"])
+        assert excinfo.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag", ["--workers", "--batch-size"])
+    def test_runtime_counts_must_be_positive(self, flag, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["runtime", flag, "-3"])
+        assert excinfo.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_engine_fault_is_one_clean_line(self, capsys, monkeypatch):
+        """EngineError exits 1 with a single stderr line, no traceback."""
+        import repro.cli as cli
+        from repro.engine.errors import EngineError
+
+        def explode(args):
+            raise EngineError("replay rejected a committed step")
+
+        # args.func is bound at parser build time, so patch the parser.
+        real_build = cli.build_parser
+
+        def patched_build():
+            parser = real_build()
+            original = parser.parse_args
+
+            def parse_args(argv=None):
+                args = original(argv)
+                args.func = explode
+                return args
+
+            parser.parse_args = parse_args
+            return parser
+
+        monkeypatch.setattr(cli, "build_parser", patched_build)
+        assert cli.main(["engine", "--txns", "5"]) == 1
+        err = capsys.readouterr().err
+        assert err.strip() == (
+            "engine fault: replay rejected a committed step"
+        )
+        assert "Traceback" not in err
+
+
+class TestRuntime:
+    def test_bank_run_reports_metrics(self, capsys):
+        assert main([
+            "runtime", "--workers", "4", "--txns", "60",
+            "--deterministic", "--batch-size", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mvto on sharded bank" in out
+        assert "4 conflict domains" in out
+        assert "group commit" in out
+        assert "latency" in out
+        assert "invariant     ok" in out
+
+    def test_shared_lock_table_note(self, capsys):
+        assert main([
+            "runtime", "--scheduler", "sgt", "--workers", "4",
+            "--txns", "40", "--deterministic",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "shared lock table" in out
+        assert "1 conflict domain" in out
+
+    def test_deterministic_output_is_byte_identical(self, capsys):
+        argv = [
+            "runtime", "--workers", "4", "--txns", "50",
+            "--deterministic", "--seed", "9", "--cross-fraction", "0.4",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_inventory_workload(self, capsys):
+        assert main([
+            "runtime", "--workload", "inventory", "--scheduler", "si",
+            "--txns", "40", "--deterministic",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "invariant     ok" in out
+
+
 class TestEngine:
     def test_bank_run_reports_metrics(self, capsys):
         assert main([
