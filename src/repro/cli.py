@@ -10,6 +10,7 @@
     python -m repro sat "a|b & ~a|~b"
     python -m repro engine --workload bank --scheduler mvto --txns 200
     python -m repro runtime --scheduler mvto --workers 4 --batch-size 8
+    python -m repro planner --workload readmostly --workers 4 --deterministic
 
 Output goes to stdout; exit status is 0 on success, 1 on a negative
 decision (not in class / not OLS / unsatisfiable / invariant violated /
@@ -64,6 +65,45 @@ def _nonnegative_int(text: str) -> int:
     if value < 0:
         raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return value
+
+
+def _add_execution_args(
+    p: argparse.ArgumentParser,
+    *,
+    txns_default: int,
+    parallel: bool = False,
+    retries: bool = True,
+    epoch_steps_default: int | None = 256,
+    gc_every: bool = True,
+    batch_size_default: int = 8,
+    batch_size_help: str = "group-commit batch size",
+) -> None:
+    """The stream-execution arguments every execution mode shares.
+
+    One definition for ``engine`` / ``runtime`` / ``planner`` so the
+    three subcommands cannot drift: the same names, the same defaults
+    where they overlap, and the same parse-time validation (positive
+    counts, fractions in [0, 1]) everywhere.  ``parallel`` adds the
+    worker/batch/deterministic trio the runtime and planner share;
+    the flags a mode has no use for are simply not added.
+    """
+    p.add_argument("--txns", type=_positive_int, default=txns_default)
+    p.add_argument("--seed", type=int, default=0)
+    if parallel:
+        p.add_argument("--workers", type=_positive_int, default=4)
+        p.add_argument("--batch-size", type=_positive_int,
+                       default=batch_size_default, help=batch_size_help)
+        p.add_argument("--deterministic", action="store_true",
+                       help="single-threaded reproducible mode")
+    if retries:
+        p.add_argument("--max-retries", type=_positive_int, default=8)
+    p.add_argument("--no-gc", action="store_true")
+    if gc_every:
+        p.add_argument("--gc-every", type=_nonnegative_int, default=32,
+                       help="collect every N commits")
+    if epoch_steps_default is not None:
+        p.add_argument("--epoch-steps", type=_positive_int,
+                       default=epoch_steps_default)
 
 
 def _parse_cnf(text: str) -> CNF:
@@ -291,6 +331,54 @@ def cmd_runtime(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_planner(args: argparse.Namespace) -> int:
+    from repro.runtime.modes import run_stream
+    from repro.workloads.streams import (
+        ReadMostlyScenario,
+        ShardedBankScenario,
+    )
+
+    if args.workload == "bank":
+        workload = ShardedBankScenario(
+            n_shards=args.workers,
+            accounts_per_shard=args.accounts_per_shard,
+            cross_fraction=args.cross_fraction,
+            hot_fraction=args.hot_fraction,
+            audit_every=args.audit_every,
+            seed=args.seed,
+        )
+    else:
+        workload = ReadMostlyScenario(
+            n_shards=args.workers,
+            accounts_per_shard=args.accounts_per_shard,
+            read_fraction=args.read_fraction,
+            hot_fraction=args.hot_fraction,
+            seed=args.seed,
+        )
+    # The same registry entry the benchmarks compare against, so the
+    # CLI and E17 cannot diverge on what "planner mode" means.
+    metrics, final_state = run_stream(
+        "planner",
+        workload.transaction_stream(args.txns),
+        workload.initial_state(),
+        workers=args.workers,
+        batch_size=args.batch_size,
+        deterministic=args.deterministic,
+        gc_enabled=not args.no_gc,
+        seed=args.seed,
+    )
+    ok = workload.invariant_holds(final_state)
+    print(
+        f"== batch planner on {args.workload} "
+        f"({args.txns} txns, {args.workers} workers, "
+        f"batch {args.batch_size}"
+        f"{', deterministic' if args.deterministic else ''}) =="
+    )
+    print(metrics.report())
+    print(f"invariant     {'ok' if ok else 'VIOLATED'}")
+    return 0 if ok else 1
+
+
 def cmd_sat(args: argparse.Namespace) -> int:
     formula = _parse_cnf(args.formula)
     model = solve(formula)
@@ -359,7 +447,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["mvto", "2v2pl", "2pl", "sgt", "si", "all"],
         default="mvto",
     )
-    p.add_argument("--txns", type=_positive_int, default=200)
+    _add_execution_args(p, txns_default=200)
     p.add_argument("--sessions", type=_positive_int, default=4)
     p.add_argument("--entities", type=_positive_int, default=8,
                    help="accounts / warehouses")
@@ -367,12 +455,6 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--audit-every", type=_nonnegative_int, default=0,
                    help="bank only: every k-th transaction is an audit")
     p.add_argument("--shards", type=_positive_int, default=8)
-    p.add_argument("--no-gc", action="store_true")
-    p.add_argument("--gc-every", type=_nonnegative_int, default=32,
-                   help="collect every N commits")
-    p.add_argument("--epoch-steps", type=_positive_int, default=256)
-    p.add_argument("--max-retries", type=_positive_int, default=8)
-    p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_engine)
 
     p = sub.add_parser(
@@ -385,12 +467,9 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["mvto", "si", "2v2pl", "2pl", "sgt"],
         default="mvto",
     )
-    p.add_argument("--txns", type=_positive_int, default=400)
-    p.add_argument("--workers", type=_positive_int, default=4)
-    p.add_argument("--batch-size", type=_positive_int, default=8,
-                   help="group-commit batch size")
-    p.add_argument("--deterministic", action="store_true",
-                   help="single-threaded reproducible mode")
+    _add_execution_args(
+        p, txns_default=400, parallel=True, epoch_steps_default=128
+    )
     p.add_argument("--inflight", type=_positive_int, default=16,
                    help="transactions in flight at once")
     p.add_argument("--accounts-per-shard", type=_positive_int, default=4)
@@ -405,13 +484,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cross-stride", type=_nonnegative_int, default=0,
                    help="coordinator transitions per round "
                         "(0 = run each cross-shard txn to completion)")
-    p.add_argument("--no-gc", action="store_true")
-    p.add_argument("--gc-every", type=_nonnegative_int, default=32,
-                   help="collect every N commits per worker")
-    p.add_argument("--epoch-steps", type=_positive_int, default=128)
-    p.add_argument("--max-retries", type=_positive_int, default=8)
-    p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_runtime)
+
+    p = sub.add_parser(
+        "planner",
+        help="run a stream through the abort-free batch planner",
+    )
+    p.add_argument(
+        "--workload", choices=["bank", "readmostly"], default="bank"
+    )
+    _add_execution_args(
+        p,
+        txns_default=400,
+        parallel=True,
+        retries=False,           # nothing CC-aborts, nothing retries
+        epoch_steps_default=None,  # the batch IS the epoch
+        gc_every=False,          # GC runs at every batch settle
+        batch_size_default=64,
+        batch_size_help="transactions planned per batch (= epoch)",
+    )
+    p.add_argument("--accounts-per-shard", type=_positive_int, default=4)
+    p.add_argument("--cross-fraction", type=_fraction, default=0.1,
+                   help="bank only: cross-shard transfer fraction")
+    p.add_argument("--hot-fraction", type=_fraction, default=0.2,
+                   help="bank: hot-shard fraction; "
+                        "readmostly: hot-key fraction")
+    p.add_argument("--audit-every", type=_nonnegative_int, default=0,
+                   help="bank only: every k-th transaction is an audit")
+    p.add_argument("--read-fraction", type=_fraction, default=0.9,
+                   help="readmostly only: read-only transaction fraction")
+    p.set_defaults(func=cmd_planner)
 
     return parser
 

@@ -10,6 +10,7 @@ final transaction ``Tf``, version functions, and READ-FROM relations.
 from repro.model.steps import Step, Op, read, write
 from repro.model.transactions import Transaction, TransactionSystem
 from repro.model.schedules import Schedule, T_INIT, T_FINAL
+from repro.model.batching import BatchPlan, PlannedTransaction, ReadBinding
 from repro.model.parsing import parse_schedule, parse_transaction, format_schedule
 from repro.model.version_functions import VersionFunction, standard_version_function
 from repro.model.readfrom import read_from_relation, view_of
@@ -24,6 +25,9 @@ __all__ = [
     "Schedule",
     "T_INIT",
     "T_FINAL",
+    "BatchPlan",
+    "PlannedTransaction",
+    "ReadBinding",
     "parse_schedule",
     "parse_transaction",
     "format_schedule",

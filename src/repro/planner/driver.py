@@ -1,0 +1,181 @@
+"""The batch planner driver: chunk, plan, execute, settle, collect.
+
+:class:`BatchPlanner` is the third execution mode next to the serial
+engine (:class:`repro.engine.sessions.ConcurrentDriver`) and the
+parallel shard runtime (:class:`repro.runtime.ShardRuntime`).  Where
+those two *discover* conflicts at run time and pay for them with aborts
+and replays, the planner removes them up front: the stream is chunked
+into batches (one batch = one epoch), each batch is planned
+(:mod:`repro.planner.planning`), executed abort-free
+(:mod:`repro.planner.executor`), and *settled*:
+
+* the committed set is re-derived through the group-commit fixpoint
+  (:meth:`repro.runtime.group_commit.GroupCommitLog.commit_closure`) over
+  the plan's dependency map — logic aborts vote "no", and the closure is
+  exactly the poison cascade the executor realized.  The two computations
+  agreeing is an asserted invariant, not an assumption.
+* poisoned slots are removed from the store; no placeholder survives a
+  settled batch.
+* the watermark GC (:class:`repro.engine.gc.WatermarkGC`) prunes behind
+  the next batch's first install position — the engine's epoch watermark
+  argument verbatim, since a batch's reads only ever bind epoch-local
+  slots or the pre-batch base version.
+
+Ticks count admissions and settles, so commit latency (in ticks, via the
+engine's :class:`LatencyStats`) measures batching delay and is identical
+in deterministic and threaded mode.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.engine.errors import EngineError
+from repro.engine.gc import WatermarkGC
+from repro.model.steps import Entity
+from repro.planner.executor import (
+    COMMITTED,
+    LOGIC_ABORT,
+    PlanExecutor,
+    verify_settled,
+)
+from repro.planner.metrics import PlannerMetrics
+from repro.planner.planning import plan_batch
+from repro.runtime.group_commit import GroupCommitLog
+from repro.storage.sharded import ShardedMultiversionStore
+
+
+class BatchPlanner:
+    """Plan-then-execute MVCC over a sharded multiversion store."""
+
+    def __init__(
+        self,
+        initial: dict[Entity, object] | None = None,
+        n_workers: int = 4,
+        batch_size: int = 64,
+        deterministic: bool = False,
+        gc_enabled: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        #: one store shard per worker: planning partition p and the
+        #: execution threads' fills both address shard-sliced state.
+        self.store = ShardedMultiversionStore(n_workers, initial)
+        self.n_workers = n_workers
+        self.batch_size = batch_size
+        self.deterministic = deterministic
+        #: kept for interface parity with the other execution modes; the
+        #: planner itself is deterministic given the stream.
+        self.seed = seed
+        self.metrics = PlannerMetrics(
+            n_workers=n_workers,
+            batch_size=batch_size,
+            deterministic=deterministic,
+        )
+        self.gc = WatermarkGC(self.store) if gc_enabled else None
+        if self.gc is not None:
+            self.metrics.engine.gc = self.gc.stats
+        self.executor = PlanExecutor(self.store, n_workers, deterministic)
+        #: reused purely for its commit_closure fixpoint — the planner
+        #: batch is the "group" and settle is its flush decision.
+        self._commit_rule = GroupCommitLog(batch_size)
+        self._next_timestamp = 0
+        self._next_position = 0
+        self._ran = False
+
+    def final_state(self) -> dict[Entity, object]:
+        return self.store.final_state()
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self, stream) -> PlannerMetrics:
+        """Drain ``stream`` of ``(transaction, program)`` pairs."""
+        if self._ran:
+            raise EngineError("a BatchPlanner instance is single-use")
+        self._ran = True
+        engine = self.metrics.engine
+        started = time.perf_counter()
+        batch: list = []
+        born: list[int] = []
+        for item in stream:
+            engine.ticks += 1
+            engine.attempts += 1
+            batch.append(item)
+            born.append(engine.ticks)
+            if len(batch) >= self.batch_size:
+                self._run_batch(batch, born)
+                batch, born = [], []
+        if batch:
+            self._run_batch(batch, born)
+        engine.elapsed = time.perf_counter() - started
+        return self.metrics
+
+    # -- one batch ---------------------------------------------------------
+
+    def _run_batch(self, items: list, born: list[int]) -> None:
+        metrics = self.metrics
+        engine = metrics.engine
+        plan = plan_batch(
+            items,
+            self.store,
+            self._next_timestamp,
+            self._next_position,
+            threaded=not self.deterministic and self.n_workers > 1,
+        )
+        self._next_timestamp += len(items)
+        for ptxn in plan:
+            self._next_position += len(ptxn.slots)
+            metrics.placeholders_reserved += len(ptxn.slots)
+            metrics.commit_deps += len(ptxn.deps)
+            for binding in ptxn.bindings:
+                if binding.is_base:
+                    metrics.base_reads += 1
+                elif binding.is_own:
+                    metrics.own_reads += 1
+                else:
+                    metrics.dependent_reads += 1
+
+        outcome = self.executor.execute(plan)
+        verify_settled(plan, outcome)
+        metrics.blocked_reads += outcome.blocked_reads
+        engine.steps_submitted += outcome.steps_executed
+
+        # Settle: the group-commit fixpoint over the planned dependency
+        # map must re-derive exactly the executed fates — logic aborts
+        # vote no, and the closure is the poison cascade.
+        votes = {
+            ptxn.txn: outcome.fates[ptxn.txn] == COMMITTED for ptxn in plan
+        }
+        committed = self._commit_rule.commit_closure(votes, plan.dep_map)
+        if committed != outcome.committed:
+            raise EngineError(
+                "planner settle disagrees with execution: "
+                f"closure {sorted(map(repr, committed))} vs executed "
+                f"{sorted(map(repr, outcome.committed))}"
+            )
+        engine.ticks += 1
+        for ptxn, tick in zip(plan, born):
+            if ptxn.txn in committed:
+                engine.committed += 1
+                engine.latency.record(engine.ticks - tick)
+                continue
+            if outcome.fates[ptxn.txn] == COMMITTED:  # pragma: no cover
+                raise EngineError("closure dropped an executed commit")
+            if outcome.fates[ptxn.txn] == LOGIC_ABORT:
+                metrics.logic_aborted += 1
+            else:
+                metrics.cascade_aborted += 1
+            for slot in ptxn.slots:
+                self.store.remove(slot)
+        if self.store.placeholder_count():
+            raise EngineError(
+                f"{self.store.placeholder_count()} placeholders survived "
+                "a settled batch"
+            )
+        engine.epochs_closed += 1
+        if self.gc is not None:
+            self.gc.collect(self._next_position)
+        engine.final_versions = self.store.version_count()

@@ -1,0 +1,222 @@
+"""The execution phase: run a planned batch with zero CC aborts.
+
+Every read was bound to its exact source version at plan time, so
+execution never consults a scheduler and can never be aborted by
+concurrency control — the only run-time interaction between transactions
+is a read *waiting* for its source slot to be published.  Transactions
+publish at commit: write values are computed locally and all of a
+transaction's slots are filled together after its last step, so no other
+transaction ever consumes a value its writer might still retract.  A
+transaction whose program raises (a *logic* abort — the one abort class
+planning cannot remove) publishes nothing: it poisons its reserved
+slots, and every reader bound to them wakes, observes the poison, and
+cascades — exactly the dependency edges the plan already records.
+
+Two modes, mirroring :class:`repro.runtime.worker.ShardWorker`:
+
+* **deterministic** — transactions run inline in timestamp order.  A
+  read's source writer always has a smaller timestamp (or is the reader
+  itself), so it has already published and no read ever blocks: the
+  whole batch is a sequential program.
+* **threaded** — ``n_workers`` threads pull transactions from a shared
+  queue in timestamp order; blocked reads park on the slot's event.
+  Deadlock-free by induction: a transaction only ever waits on smaller
+  timestamps, and the smallest unfinished transaction never waits.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.engine.errors import EngineError
+from repro.model.batching import BatchPlan, PlannedTransaction
+from repro.model.steps import TxnId
+from repro.storage.executor import write_value
+from repro.storage.mvstore import PlaceholderState
+from repro.storage.sharded import ShardedMultiversionStore
+
+#: per-transaction outcome tags.
+COMMITTED = "committed"
+LOGIC_ABORT = "logic-abort"
+CASCADE = "cascade"
+
+
+@dataclass
+class ExecutionOutcome:
+    """What one batch's execution produced."""
+
+    #: txn -> COMMITTED | LOGIC_ABORT | CASCADE.
+    fates: dict[TxnId, str] = field(default_factory=dict)
+    #: reads that found their source slot still pending and parked.
+    blocked_reads: int = 0
+    steps_executed: int = 0
+
+    @property
+    def committed(self) -> set[TxnId]:
+        return {t for t, fate in self.fates.items() if fate == COMMITTED}
+
+
+class PlanExecutor:
+    """Execute planned batches over the planner's sharded store."""
+
+    def __init__(
+        self,
+        store: ShardedMultiversionStore,
+        n_workers: int = 4,
+        deterministic: bool = False,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.store = store
+        self.n_workers = n_workers
+        self.deterministic = deterministic
+
+    def execute(self, plan: BatchPlan) -> ExecutionOutcome:
+        outcome = ExecutionOutcome()
+        if self.deterministic or self.n_workers == 1:
+            for ptxn in plan:
+                fate, blocked, steps = self._run_one(ptxn, locked=False)
+                outcome.fates[ptxn.txn] = fate
+                outcome.blocked_reads += blocked
+                outcome.steps_executed += steps
+            return outcome
+        queue = deque(plan)
+        mutex = threading.Lock()
+        crashes: list[BaseException] = []
+
+        def pull() -> PlannedTransaction | None:
+            with mutex:
+                return queue.popleft() if queue else None
+
+        def worker() -> None:
+            while True:
+                ptxn = pull()
+                if ptxn is None:
+                    return
+                try:
+                    fate, blocked, steps = self._run_one(ptxn, locked=True)
+                except BaseException as error:  # noqa: BLE001
+                    # An executor bug, not a workload condition — but a
+                    # silently dead thread would strand readers parked on
+                    # this transaction's slots forever.  Poison what is
+                    # still pending so they wake and cascade, then
+                    # surface the bug after the join.
+                    self._poison_pending(ptxn, locked=True)
+                    with mutex:
+                        crashes.append(error)
+                    return
+                with mutex:
+                    outcome.fates[ptxn.txn] = fate
+                    outcome.blocked_reads += blocked
+                    outcome.steps_executed += steps
+
+        threads = [
+            threading.Thread(target=worker, name=f"plan-exec-{k}")
+            for k in range(self.n_workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if crashes:
+            raise EngineError(
+                f"plan execution worker crashed: {crashes[0]!r}"
+            ) from crashes[0]
+        return outcome
+
+    def _run_one(
+        self, ptxn: PlannedTransaction, locked: bool
+    ) -> tuple[str, int, int]:
+        """Run one transaction to publish or poison; no third ending.
+
+        ``locked`` guards the store's placeholder counters with the
+        slot's shard lock (threaded mode: fills of different entities in
+        one shard may race).  Returns (fate, blocked reads, steps run).
+        """
+        reads: list = []
+        own_values: dict[int, object] = {}
+        computed: list = []
+        blocked = 0
+        steps = 0
+        read_i = write_i = 0
+        for step in ptxn.transaction.steps:
+            steps += 1
+            if step.is_read:
+                binding = ptxn.bindings[read_i]
+                read_i += 1
+                source = binding.source
+                if binding.is_own:
+                    value = own_values[id(source)]
+                elif source.is_placeholder:
+                    if not source.decided:
+                        blocked += 1
+                        source.wait()
+                    if source.state is PlaceholderState.POISONED:
+                        self._poison_all(ptxn, locked)
+                        return CASCADE, blocked, steps
+                    value = source.value
+                else:
+                    value = source.value
+                reads.append(value)
+            else:
+                slot = ptxn.slots[write_i]
+                try:
+                    value = write_value(
+                        ptxn.program, ptxn.txn, write_i, reads
+                    )
+                except Exception:  # noqa: BLE001 — a raise IS the abort
+                    self._poison_all(ptxn, locked)
+                    return LOGIC_ABORT, blocked, steps
+                own_values[id(slot)] = value
+                computed.append((slot, value))
+                write_i += 1
+        # Publish: the transaction's commit point.  Nothing was visible
+        # to other transactions before this loop, so an abort above never
+        # needs to retract consumed values.
+        for slot, value in computed:
+            self._with_shard_lock(slot, locked, self.store.fill, slot, value)
+        return COMMITTED, blocked, steps
+
+    def _poison_all(self, ptxn: PlannedTransaction, locked: bool) -> None:
+        for slot in ptxn.slots:
+            self._with_shard_lock(slot, locked, self.store.poison, slot)
+
+    def _poison_pending(self, ptxn: PlannedTransaction, locked: bool) -> None:
+        """Crash-path cleanup: poison whatever is still undecided.
+
+        Unlike the semantic abort paths (where publish-at-commit
+        guarantees every slot is still pending), a crashed worker may
+        have died mid-publish with some slots already filled; those are
+        consumed values and stay — the run is aborting anyway.
+        """
+        for slot in ptxn.slots:
+            if not slot.decided:
+                self._with_shard_lock(slot, locked, self.store.poison, slot)
+
+    def _with_shard_lock(self, slot, locked: bool, fn, *args) -> None:
+        if not locked:
+            fn(*args)
+            return
+        with self.store.lock_of(slot.entity):
+            fn(*args)
+
+
+def verify_settled(plan: BatchPlan, outcome: ExecutionOutcome) -> None:
+    """Every fate must be decided and consistent with the dependency plan.
+
+    A committed transaction may not depend on a non-committed one — the
+    publish-at-commit discipline makes that structurally impossible, so
+    a violation is an executor bug, not a workload condition.
+    """
+    committed = outcome.committed
+    for ptxn in plan:
+        fate = outcome.fates.get(ptxn.txn)
+        if fate is None:
+            raise EngineError(f"transaction {ptxn.txn!r} was never executed")
+        if fate == COMMITTED and not ptxn.deps <= committed:
+            raise EngineError(
+                f"committed transaction {ptxn.txn!r} depends on "
+                f"aborted transaction(s) {set(ptxn.deps) - committed!r}"
+            )

@@ -1,0 +1,141 @@
+"""Planner observability, built around the engine's metrics objects.
+
+The planner deliberately *reuses* :class:`repro.engine.EngineMetrics`
+(and with it :class:`LatencyStats`/:class:`GCStats`) for everything the
+two execution models share — attempts, commits, steps, epochs (batches),
+latency in ticks, GC retention — so E-benchmarks can put planner and
+engine columns side by side without unit conversion.  The reuse is also
+the zero-abort witness: the planner never touches the engine's abort
+counters, so ``engine.aborted_total`` (surfaced here as ``cc_aborts``)
+staying at zero is a *recorded measurement*, not a definition.
+
+Planner-specific counters (plan shape, commit dependencies, blocked
+reads, logic/cascade aborts) live on top.  ``as_dict`` excludes
+wall-clock fields, so two same-seed deterministic runs serialize
+byte-identically — the same reproducibility contract as the runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.metrics import EngineMetrics
+
+
+@dataclass
+class PlannerMetrics:
+    """Everything the batch planner counts while draining a stream."""
+
+    #: configuration (fixed at construction).
+    n_workers: int = 0
+    batch_size: int = 0
+    deterministic: bool = False
+
+    #: shared execution counters, in engine units (see module docstring).
+    engine: EngineMetrics = field(default_factory=EngineMetrics)
+
+    #: plan shape: write slots reserved; reads bound to a base version,
+    #: an own earlier write, or another transaction's slot.
+    placeholders_reserved: int = 0
+    base_reads: int = 0
+    own_reads: int = 0
+    dependent_reads: int = 0
+    #: distinct reader→writer commit-dependency edges: a reader binding
+    #: several reads to one writer counts once here (``dependent_reads``
+    #: carries the per-read count).
+    commit_deps: int = 0
+    #: reads that parked on a pending slot (threaded mode only; always 0
+    #: when deterministic — timestamp-order execution never blocks).
+    blocked_reads: int = 0
+    #: the aborts planning cannot remove: programs that raised, and the
+    #: readers their poisoned slots cascaded to.
+    logic_aborted: int = 0
+    cascade_aborted: int = 0
+
+    @property
+    def submitted(self) -> int:
+        return self.engine.attempts
+
+    @property
+    def committed(self) -> int:
+        return self.engine.committed
+
+    @property
+    def batches(self) -> int:
+        return self.engine.epochs_closed
+
+    @property
+    def cc_aborts(self) -> int:
+        """Concurrency-control aborts — zero by construction; the engine
+        abort counters exist so the claim is measured, not assumed."""
+        return self.engine.aborted_total
+
+    @property
+    def commit_rate(self) -> float:
+        return self.committed / self.submitted if self.submitted else 0.0
+
+    @property
+    def latency(self):
+        return self.engine.latency
+
+    @property
+    def elapsed(self) -> float:
+        return self.engine.elapsed
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per wall-clock second."""
+        return self.committed / self.elapsed if self.elapsed > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "workers": self.n_workers,
+            "batch_size": self.batch_size,
+            "deterministic": self.deterministic,
+            "submitted": self.submitted,
+            "committed": self.committed,
+            "cc_aborts": self.cc_aborts,
+            "logic_aborted": self.logic_aborted,
+            "cascade_aborted": self.cascade_aborted,
+            "batches": self.batches,
+            "placeholders": self.placeholders_reserved,
+            "base_reads": self.base_reads,
+            "own_reads": self.own_reads,
+            "dependent_reads": self.dependent_reads,
+            "commit_deps": self.commit_deps,
+            "blocked_reads": self.blocked_reads,
+            "engine": self.engine.as_dict(),
+        }
+
+    def report(self) -> str:
+        """A human-readable block for the CLI."""
+        engine = self.engine
+        rate = (
+            ""
+            if self.deterministic or self.elapsed <= 0
+            else f", {self.throughput:.0f} txn/s"
+        )
+        mode = "deterministic" if self.deterministic else "threaded"
+        lines = [
+            f"workers       {self.n_workers}  "
+            f"(batch {self.batch_size}, {mode})",
+            f"submitted     {self.submitted}",
+            f"committed     {self.committed}  "
+            f"(rate {self.commit_rate:.3f}{rate})",
+            f"cc aborts     {self.cc_aborts}  (abort-free by construction)",
+            f"logic aborts  {self.logic_aborted}  "
+            f"(cascaded {self.cascade_aborted})",
+            f"reads         {self.base_reads} base, {self.own_reads} own, "
+            f"{self.dependent_reads} dependent "
+            f"({self.commit_deps} commit deps, "
+            f"{self.blocked_reads} blocked)",
+            f"batches       {self.batches}  "
+            f"({self.placeholders_reserved} slots reserved)",
+            f"latency       {engine.latency.summary()}",
+            f"versions      {engine.final_versions} live, "
+            f"peak {engine.gc.peak_versions}, "
+            f"pruned {engine.gc.versions_pruned} "
+            f"in {engine.gc.collections} collections",
+            f"ticks         {engine.ticks}",
+        ]
+        return "\n".join(lines)

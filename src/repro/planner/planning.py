@@ -1,0 +1,189 @@
+"""The planning phase: fix version placement before anything executes.
+
+Given a batch of transactions and a total timestamp order (batch
+arrival order), planning decides, per entity:
+
+* where every write's version will sit in the chain — a placeholder is
+  *reserved* at its final position (:meth:`MultiversionStore.reserve`);
+* which exact version every read will be served — the reader's own
+  latest earlier write, else the newest reserved slot of a
+  smaller-timestamp transaction, else the committed base version.
+
+This is MVTO's version rule evaluated *statically*: because the whole
+batch is visible up front, no read can ever arrive "too late" for its
+version, so execution needs no scheduler and can never be aborted by
+concurrency control.  A read bound to another transaction's reserved
+slot becomes a *commit dependency* (the reader consumes the value only
+once the writer publishes), not a rejection — the Larson et al.
+mechanics that replace aborts with waits.
+
+Planning is embarrassingly parallel by entity: accesses are partitioned
+with the same crc32 hash the sharded store uses (partition *p* owns
+shard *p* outright), so partition walks touch disjoint store slices and
+run on threads with no coordination.  Deterministic mode walks the
+partitions inline in index order; both modes produce the identical plan,
+because the walk of one entity depends on nothing outside that entity.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.engine.errors import EngineError
+from repro.model.batching import BatchPlan, PlannedTransaction, ReadBinding
+from repro.model.schedules import T_INIT
+from repro.model.steps import Entity
+from repro.model.transactions import Transaction
+from repro.storage.sharded import ShardedMultiversionStore, shard_of
+
+
+@dataclass(eq=False)
+class _Access:
+    """One step's slot in the per-entity walk, in (timestamp, index) order."""
+
+    ptxn: PlannedTransaction
+    #: step index within the transaction.
+    index: int
+    is_write: bool
+    #: pre-assigned global install position (writes only).
+    position: int | None
+
+
+@dataclass(eq=False)
+class _Draft:
+    """Mutable per-transaction scratch the partition walks fill in."""
+
+    ptxn: PlannedTransaction
+    #: step index -> ReadBinding / reserved slot (merged after the walks).
+    bindings: dict[int, ReadBinding] = field(default_factory=dict)
+    slots: dict[int, Any] = field(default_factory=dict)
+
+
+def plan_batch(
+    items: Sequence[tuple[Transaction, Callable | None]],
+    store: ShardedMultiversionStore,
+    first_timestamp: int,
+    first_position: int,
+    threaded: bool = False,
+) -> BatchPlan:
+    """Plan one batch: reserve every write slot, bind every read.
+
+    ``items`` arrive in timestamp order; ``first_position`` is the global
+    install position of the batch's first write (positions stay monotonic
+    across batches, which is what makes the per-batch GC watermark
+    identical to the engine's epoch watermark).  The store must carry no
+    placeholders — a previous batch that left any behind was never
+    settled, which is a driver bug, not a plannable state.
+    """
+    if store.placeholder_count():
+        raise EngineError("plan_batch over unsettled placeholders")
+    drafts: list[_Draft] = []
+    by_entity: dict[Entity, list[_Access]] = {}
+    position = first_position
+    for offset, (transaction, program) in enumerate(items):
+        ptxn = PlannedTransaction(
+            transaction, first_timestamp + offset, program
+        )
+        draft = _Draft(ptxn)
+        drafts.append(draft)
+        for index, step in enumerate(transaction.steps):
+            if step.is_write:
+                access = _Access(ptxn, index, True, position)
+                position += 1
+            else:
+                access = _Access(ptxn, index, False, None)
+            by_entity.setdefault(step.entity, []).append(access)
+
+    n_partitions = store.n_shards
+    partitions: list[list[Entity]] = [[] for _ in range(n_partitions)]
+    for entity in by_entity:
+        partitions[shard_of(entity, n_partitions)].append(entity)
+    draft_of = {d.ptxn.txn: d for d in drafts}
+
+    def walk_partition(p: int) -> None:
+        # Partition p owns shard p outright, so the walk may mutate its
+        # store slice without coordinating with the other walks.
+        with store.locks[p]:
+            for entity in sorted(partitions[p]):
+                _walk_entity(entity, by_entity[entity], store, draft_of)
+
+    if threaded and n_partitions > 1:
+        threads = [
+            threading.Thread(
+                target=walk_partition, args=(p,), name=f"plan-{p}"
+            )
+            for p in range(n_partitions)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    else:
+        for p in range(n_partitions):
+            walk_partition(p)
+
+    planned: list[PlannedTransaction] = []
+    dep_map: dict = {}
+    readers: dict = {}
+    for draft in drafts:
+        ptxn = draft.ptxn
+        bindings = tuple(
+            draft.bindings[i] for i in sorted(draft.bindings)
+        )
+        slots = tuple(draft.slots[i] for i in sorted(draft.slots))
+        deps = frozenset(
+            b.source_txn
+            for b in bindings
+            if not b.is_base and not b.is_own
+        )
+        ptxn.bindings = bindings
+        ptxn.slots = slots
+        ptxn.deps = deps
+        planned.append(ptxn)
+        dep_map[ptxn.txn] = set(deps)
+        for dep in deps:
+            readers.setdefault(dep, set()).add(ptxn.txn)
+    return BatchPlan(planned, dep_map, readers)
+
+
+def _walk_entity(
+    entity: Entity,
+    accesses: list[_Access],
+    store: ShardedMultiversionStore,
+    draft_of: dict,
+) -> None:
+    """Resolve one entity's accesses in (timestamp, step-index) order.
+
+    ``accesses`` is already in that order: the batch loop appends per
+    transaction in timestamp order and per step in index order.  The
+    newest slot walked so far is exactly "the newest version written by
+    a smaller-or-equal timestamp", which is both MVTO's read rule and —
+    when the writer is the reader itself — the own-write rule.
+    """
+    base = None
+    last: _Access | None = None
+    last_slot = None
+    for access in accesses:
+        draft = draft_of[access.ptxn.txn]
+        if access.is_write:
+            last_slot = store.reserve(
+                entity, access.ptxn.txn, access.position
+            )
+            last = access
+            draft.slots[access.index] = last_slot
+            continue
+        if last is None:
+            if base is None:
+                # Captured before this walk reserves anything on the
+                # entity, so it is the committed pre-batch state.
+                base = store.latest(entity)
+            binding = ReadBinding(
+                access.ptxn.txn, access.index, base, T_INIT
+            )
+        else:
+            binding = ReadBinding(
+                access.ptxn.txn, access.index, last_slot, last.ptxn.txn
+            )
+        draft.bindings[access.index] = binding

@@ -1,0 +1,147 @@
+"""Execution-mode registry: serial engine, parallel runtime, batch planner.
+
+One entry point for "run this stream, somehow" so benchmarks and the CLI
+can compare the three execution models over the identical stream without
+re-wiring each one's constructor:
+
+* ``serial`` — the PR 1 online engine under the concurrent driver: one
+  conflict domain, abort/retry with backoff, epoch logs and replays.
+* ``parallel`` — the PR 2 shard runtime: per-shard workers, cross-shard
+  2PC, epoch-batched group commit.
+* ``planner`` — the batch planner: plan-then-execute, abort-free.
+
+Every runner returns its native metrics object; all three expose
+``committed``, ``throughput``, ``latency`` and ``as_dict()``, which is
+the surface the E-benchmarks compare on.  Imports happen inside the
+runners so the registry stays cycle-free (the planner itself reuses
+:mod:`repro.runtime.group_commit`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def _run_serial(
+    stream,
+    initial,
+    *,
+    scheduler: str = "mvto",
+    workers: int = 4,
+    batch_size: int = 8,
+    deterministic: bool = False,
+    seed: int = 0,
+    retry=None,
+    gc_enabled: bool = True,
+    epoch_max_steps: int = 256,
+):
+    """Serial engine; ``workers`` maps to driver sessions, ``batch_size``
+    and ``deterministic`` do not apply (the driver is already seeded and
+    single-threaded)."""
+    from repro.engine import (
+        ConcurrentDriver,
+        OnlineEngine,
+        RetryPolicy,
+        scheduler_factory,
+    )
+
+    engine = OnlineEngine(
+        scheduler_factory(scheduler),
+        initial=initial,
+        n_shards=max(workers, 1),
+        gc_enabled=gc_enabled,
+        epoch_max_steps=epoch_max_steps,
+    )
+    driver = ConcurrentDriver(
+        engine,
+        stream,
+        n_sessions=workers,
+        retry=retry if retry is not None else RetryPolicy(),
+        seed=seed,
+    )
+    metrics = driver.run()
+    return metrics, engine.store.final_state()
+
+
+def _run_parallel(
+    stream,
+    initial,
+    *,
+    scheduler: str = "mvto",
+    workers: int = 4,
+    batch_size: int = 8,
+    deterministic: bool = False,
+    seed: int = 0,
+    retry=None,
+    gc_enabled: bool = True,
+    epoch_max_steps: int = 128,
+):
+    from repro.engine import RetryPolicy
+    from repro.runtime.dispatch import ShardRuntime
+
+    runtime = ShardRuntime(
+        scheduler,
+        initial=initial,
+        n_workers=workers,
+        batch_size=batch_size,
+        deterministic=deterministic,
+        retry=retry if retry is not None else RetryPolicy(),
+        seed=seed,
+        gc_enabled=gc_enabled,
+        epoch_max_steps=epoch_max_steps,
+    )
+    metrics = runtime.run(stream)
+    return metrics, runtime.final_state()
+
+
+def _run_planner(
+    stream,
+    initial,
+    *,
+    scheduler: str = "mvto",
+    workers: int = 4,
+    batch_size: int = 64,
+    deterministic: bool = False,
+    seed: int = 0,
+    retry=None,
+    gc_enabled: bool = True,
+    epoch_max_steps: int = 256,
+):
+    """Batch planner; ``scheduler``/``retry``/``epoch_max_steps`` do not
+    apply — the plan needs no run-time scheduler, nothing retries
+    (nothing CC-aborts), and the batch *is* the epoch."""
+    from repro.planner.driver import BatchPlanner
+
+    planner = BatchPlanner(
+        initial=initial,
+        n_workers=workers,
+        batch_size=batch_size,
+        deterministic=deterministic,
+        gc_enabled=gc_enabled,
+        seed=seed,
+    )
+    metrics = planner.run(stream)
+    return metrics, planner.final_state()
+
+
+EXECUTION_MODES: dict[str, Callable] = {
+    "serial": _run_serial,
+    "parallel": _run_parallel,
+    "planner": _run_planner,
+}
+
+
+def run_stream(mode: str, stream, initial, **options):
+    """Run ``stream`` under the named execution mode.
+
+    Returns ``(metrics, final_state)`` — the mode's native metrics
+    object plus the final store state (for invariant checks).
+    """
+    try:
+        runner = EXECUTION_MODES[mode]
+    except KeyError:
+        raise ValueError(
+            f"unknown execution mode {mode!r}; one of "
+            f"{sorted(EXECUTION_MODES)}"
+        ) from None
+    return runner(stream, initial, **options)

@@ -11,10 +11,21 @@ they cost O(1) regardless of chain length — both are hot paths under the
 online engine (:mod:`repro.engine`) and the storage benchmarks.  The store
 also supports removing individual versions (transaction abort) and pruning
 chain prefixes (garbage collection); both keep the indexes consistent.
+
+Placeholder versions (after Larson et al.'s uncommitted-version records)
+support plan-then-execute execution (:mod:`repro.planner`): a chain slot
+is *reserved* at its final position before the writing transaction runs,
+then *filled* with the computed value at commit, or *poisoned* if the
+writer aborts.  A placeholder occupies its chain position from the moment
+of reservation — later reads can be bound to it exactly — but it does not
+count as a stored version until filled: ``version_count`` and every
+aggregate built on it report only materialized versions.
 """
 
 from __future__ import annotations
 
+import enum
+import threading
 from dataclasses import dataclass
 from typing import Any, Iterator
 
@@ -36,6 +47,81 @@ class Version:
     def is_initial(self) -> bool:
         return self.position is None
 
+    @property
+    def is_placeholder(self) -> bool:
+        return False
+
+    @property
+    def materialized(self) -> bool:
+        """True iff this version holds a real value (always, unless it is
+        a placeholder that has not been filled)."""
+        return True
+
+
+class PlaceholderState(enum.Enum):
+    """Lifecycle of a reserved version slot (PENDING is the only state
+    from which both transitions are legal; FILLED and POISONED are
+    terminal)."""
+
+    PENDING = "pending"
+    FILLED = "filled"
+    POISONED = "poisoned"
+
+
+#: value of a placeholder that has not been filled yet.
+UNWRITTEN = object()
+
+
+class PlaceholderVersion(Version):
+    """A reserved chain slot whose payload arrives at execution time.
+
+    Chain metadata (entity, writer, position) is fixed at reservation,
+    exactly like a normal version — that is what lets a batch planner
+    bind reads to it before the writer has run.  Only the payload cell
+    transitions: PENDING -> FILLED (value published) or PENDING ->
+    POISONED (writer aborted).  Waiters block on an event that both
+    transitions set, so a blocked reader always wakes to a decided fate.
+
+    Equality and hashing are by identity, not by field value — the
+    ``value`` field mutates on fill, and the engine/planner compare
+    versions by identity anyway.
+    """
+
+    def __init__(self, entity: Entity, writer: TxnId, position: int) -> None:
+        super().__init__(entity, writer, UNWRITTEN, position)
+        object.__setattr__(self, "state", PlaceholderState.PENDING)
+        object.__setattr__(self, "_event", threading.Event())
+
+    __eq__ = object.__eq__
+    __hash__ = object.__hash__
+
+    @property
+    def is_placeholder(self) -> bool:
+        return True
+
+    @property
+    def materialized(self) -> bool:
+        return self.state is PlaceholderState.FILLED
+
+    @property
+    def decided(self) -> bool:
+        return self.state is not PlaceholderState.PENDING
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until filled or poisoned; True iff decided in time."""
+        return self._event.wait(timeout)
+
+    # -- store-internal transitions (go through MultiversionStore) --------
+
+    def _fill(self, value: Any) -> None:
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "state", PlaceholderState.FILLED)
+        self._event.set()
+
+    def _poison(self) -> None:
+        object.__setattr__(self, "state", PlaceholderState.POISONED)
+        self._event.set()
+
 
 def _order_key(version: Version) -> int:
     """Chain-order key of a version; the initial version sorts first."""
@@ -53,6 +139,8 @@ class MultiversionStore:
         #: per-entity writer -> that writer's versions in chain order.
         self._by_writer: dict[Entity, dict[TxnId, list[Version]]] = {}
         self._n_versions = 0
+        #: reserved-but-unmaterialized slots (PENDING or POISONED).
+        self._n_unmaterialized = 0
 
     def _chain(self, entity: Entity) -> list[Version]:
         if entity not in self._chains:
@@ -78,6 +166,8 @@ class MultiversionStore:
         if not owned:
             del self._by_writer[entity][version.writer]
         self._n_versions -= 1
+        if not version.materialized:
+            self._n_unmaterialized -= 1
 
     # -- writes ----------------------------------------------------------
 
@@ -89,6 +179,57 @@ class MultiversionStore:
         version = Version(entity, writer, value, position)
         self._index(version)
         return version
+
+    # -- placeholder lifecycle (plan-then-execute) ------------------------
+
+    def reserve(
+        self, entity: Entity, writer: TxnId, position: int
+    ) -> PlaceholderVersion:
+        """Reserve a chain slot for a write that has not executed yet.
+
+        The slot takes its final chain position immediately, so a planner
+        can bind later reads to it exactly; it stays out of
+        :meth:`version_count` until filled.
+        """
+        self._chain(entity)
+        version = PlaceholderVersion(entity, writer, position)
+        self._index(version)
+        self._n_unmaterialized += 1
+        return version
+
+    def fill(self, version: PlaceholderVersion, value: Any) -> None:
+        """Publish the computed value of a reserved slot (commit point).
+
+        Wakes every reader blocked on the placeholder.  Filling a
+        non-pending slot is a caller bug: values publish exactly once and
+        a poisoned slot's writer is gone.
+        """
+        if not version.is_placeholder:
+            raise ValueError(f"fill on non-placeholder version {version!r}")
+        if version.state is not PlaceholderState.PENDING:
+            raise ValueError(
+                f"fill on {version.state.value} placeholder of "
+                f"{version.writer!r}"
+            )
+        version._fill(value)
+        self._n_unmaterialized -= 1
+
+    def poison(self, version: PlaceholderVersion) -> None:
+        """Mark a reserved slot dead (writer aborted); idempotent.
+
+        Wakes blocked readers, which observe the poisoned state and
+        cascade.  Poisoning a *filled* slot is a caller bug — published
+        values are immutable, so an abort must happen before publish.
+        """
+        if not version.is_placeholder:
+            raise ValueError(f"poison on non-placeholder version {version!r}")
+        if version.state is PlaceholderState.POISONED:
+            return
+        if version.state is PlaceholderState.FILLED:
+            raise ValueError(
+                f"poison on filled placeholder of {version.writer!r}"
+            )
+        version._poison()
 
     def remove(self, version: Version) -> None:
         """Remove one installed version (transaction abort path).
@@ -176,9 +317,29 @@ class MultiversionStore:
         return iter(self._chains.keys())
 
     def version_count(self) -> int:
-        """Total number of stored versions (including initials)."""
-        return self._n_versions
+        """Number of materialized versions (including initials).
+
+        Reserved-but-unfilled placeholders are excluded: a slot with no
+        value is capacity planning, not stored data, and counting it
+        would make GC/retention statistics depend on how far a batch's
+        execution happens to have progressed.
+        """
+        return self._n_versions - self._n_unmaterialized
+
+    def placeholder_count(self) -> int:
+        """Reserved slots not yet filled (PENDING or POISONED)."""
+        return self._n_unmaterialized
 
     def final_state(self) -> dict[Entity, Any]:
-        """Latest value of every touched entity."""
-        return {e: self._chains[e][-1].value for e in self._chains}
+        """Latest materialized value of every touched entity.
+
+        Skips unfilled placeholders at chain tails — mid-batch, the
+        newest *value* of an entity is the newest filled version.
+        """
+        state: dict[Entity, Any] = {}
+        for entity, chain in self._chains.items():
+            for version in reversed(chain):
+                if version.materialized:
+                    state[entity] = version.value
+                    break
+        return state

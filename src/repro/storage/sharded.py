@@ -28,7 +28,11 @@ import zlib
 from typing import Any, Iterator
 
 from repro.model.steps import Entity, TxnId
-from repro.storage.mvstore import MultiversionStore, Version
+from repro.storage.mvstore import (
+    MultiversionStore,
+    PlaceholderVersion,
+    Version,
+)
 
 
 def shard_of(entity: Entity, n_shards: int) -> int:
@@ -103,6 +107,17 @@ class ShardedMultiversionStore:
     def remove(self, version: Version) -> None:
         self.shard_for(version.entity).remove(version)
 
+    def reserve(
+        self, entity: Entity, writer: TxnId, position: int
+    ) -> PlaceholderVersion:
+        return self.shard_for(entity).reserve(entity, writer, position)
+
+    def fill(self, version: PlaceholderVersion, value: Any) -> None:
+        self.shard_for(version.entity).fill(version, value)
+
+    def poison(self, version: PlaceholderVersion) -> None:
+        self.shard_for(version.entity).poison(version)
+
     def prune_before(self, entity: Entity, watermark: int) -> int:
         return self.shard_for(entity).prune_before(entity, watermark)
 
@@ -134,6 +149,13 @@ class ShardedMultiversionStore:
                 total += shard.version_count()
         return total
 
+    def placeholder_count(self) -> int:
+        total = 0
+        for shard, lock in zip(self.shards, self.locks):
+            with lock:
+                total += shard.placeholder_count()
+        return total
+
     def final_state(self) -> dict[Entity, Any]:
         state: dict[Entity, Any] = {}
         for shard, lock in zip(self.shards, self.locks):
@@ -157,6 +179,9 @@ class ShardedMultiversionStore:
         Safe to call from any thread while workers run; each row is
         internally consistent (taken between worker tasks), though rows
         of different shards may be from slightly different moments.
+        ``versions`` counts materialized versions only; in-flight
+        reserved slots appear under ``placeholders`` — the same skip rule
+        as :meth:`version_count`, so the rows always sum to the aggregate.
         """
         stats = []
         for index, (shard, lock) in enumerate(zip(self.shards, self.locks)):
@@ -165,6 +190,7 @@ class ShardedMultiversionStore:
                     {
                         "shard": index,
                         "versions": shard.version_count(),
+                        "placeholders": shard.placeholder_count(),
                         "entities": sum(1 for _ in shard.entities()),
                     }
                 )

@@ -9,6 +9,11 @@ Two kinds of streams live here:
   shard, so the scenario can dial the exact mix of shard-local
   ("cold"), hot-shard-contended, and cross-shard transactions — the
   knobs that decide how much parallelism sharding can unlock.
+* :class:`ReadMostlyScenario` — a ~90/10 read/write stream with hot-key
+  skew (E17's second workload): long multi-key reads hammering a few
+  hot accounts that a trickle of transfers keeps mutating — the regime
+  where abort-free planned reads should shine, because every one of
+  those reads is a potential abort under optimistic execution.
 """
 
 from __future__ import annotations
@@ -83,45 +88,29 @@ def entities_by_shard(
     return buckets
 
 
-@dataclass
-class ShardedBankScenario:
-    """A transfer stream with explicit shard locality and skew.
+@dataclass(kw_only=True)
+class ShardedAccountsScenario:
+    """Shared layout of the sharded account scenarios.
 
-    Each transaction moves money between two accounts (the bank
-    workload's ``R R W W`` transfer, conservation invariant included).
-    The account pair is drawn by locality:
+    Accounts are pre-bucketed per shard (:func:`entities_by_shard`), all
+    start at ``initial_balance``, and the integrity oracle is the bank
+    workload's conservation invariant — transfers never create or
+    destroy money, whatever subset of the stream commits.
 
-    * with probability ``hot_fraction``: both accounts from the *hot*
-      shards (``hot_shards`` of them) — shard-local but contended;
-    * else with probability ``cross_fraction``: accounts from two
-      different shards — exercises the all-shards-vote commit path;
-    * otherwise: both accounts from one uniformly chosen shard —
-      the cold, embarrassingly parallel majority.
-
-    ``audit_every`` mixes in read-only multi-shard audits (long
-    readers), the workload multiversion schedulers exist for.
+    Keyword-only on purpose: extracting this base reordered the
+    subclasses' field lists, so positional construction would silently
+    bind the wrong knobs — with ``kw_only`` it cannot compile at all.
     """
 
     n_shards: int = 4
     accounts_per_shard: int = 4
-    cross_fraction: float = 0.1
-    hot_fraction: float = 0.0
-    hot_shards: int = 1
-    audit_every: int = 0
-    audit_width: int = 4
     initial_balance: int = 100
     seed: int = 0
     by_shard: list[list[Entity]] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
-        if not 0.0 <= self.cross_fraction <= 1.0:
-            raise ValueError("cross_fraction must be in [0, 1]")
-        if not 0.0 <= self.hot_fraction <= 1.0:
-            raise ValueError("hot_fraction must be in [0, 1]")
-        if not 1 <= self.hot_shards <= self.n_shards:
-            raise ValueError("hot_shards must be in [1, n_shards]")
         if self.accounts_per_shard < 2:
-            # A shard-local pair needs two distinct accounts.
+            # A shard-local transfer pair needs two distinct accounts.
             raise ValueError("accounts_per_shard must be >= 2")
         self.by_shard = entities_by_shard(
             self.n_shards, self.accounts_per_shard
@@ -140,6 +129,41 @@ class ShardedBankScenario:
         full.update(state)
         expected = self.initial_balance * len(self.accounts)
         return total_balance(full) == expected
+
+
+@dataclass(kw_only=True)
+class ShardedBankScenario(ShardedAccountsScenario):
+    """A transfer stream with explicit shard locality and skew.
+
+    Each transaction moves money between two accounts (the bank
+    workload's ``R R W W`` transfer).  The account pair is drawn by
+    locality:
+
+    * with probability ``hot_fraction``: both accounts from the *hot*
+      shards (``hot_shards`` of them) — shard-local but contended;
+    * else with probability ``cross_fraction``: accounts from two
+      different shards — exercises the all-shards-vote commit path;
+    * otherwise: both accounts from one uniformly chosen shard —
+      the cold, embarrassingly parallel majority.
+
+    ``audit_every`` mixes in read-only multi-shard audits (long
+    readers), the workload multiversion schedulers exist for.
+    """
+
+    cross_fraction: float = 0.1
+    hot_fraction: float = 0.0
+    hot_shards: int = 1
+    audit_every: int = 0
+    audit_width: int = 4
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cross_fraction <= 1.0:
+            raise ValueError("cross_fraction must be in [0, 1]")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        if not 1 <= self.hot_shards <= self.n_shards:
+            raise ValueError("hot_shards must be in [1, n_shards]")
+        super().__post_init__()
 
     def _pick_pair(self, rng: random.Random) -> tuple[Entity, Entity]:
         if self.hot_fraction > 0 and rng.random() < self.hot_fraction:
@@ -183,6 +207,92 @@ class ShardedBankScenario:
                 yield audit_transaction(f"a{audits}", audited), None
                 continue
             source, target = self._pick_pair(rng)
+            amount = rng.randint(1, 20)
+            yield (
+                transfer_transaction(f"t{k}", source, target),
+                transfer_program(amount),
+            )
+
+
+@dataclass(kw_only=True)
+class ReadMostlyScenario(ShardedAccountsScenario):
+    """A read-heavy stream with hot-key skew over sharded bank accounts.
+
+    Roughly ``read_fraction`` of the stream are read-only multi-key
+    audits (``R R R ...``, ``read_width`` accounts each); the rest are
+    transfers (``R R W W``) that keep the data moving so reads cannot be
+    answered from never-changing state.  Every account pick — for reads
+    and writes alike — lands in the *hot pool* (the first ``hot_keys``
+    accounts of shard 0) with probability ``hot_fraction``, so a few
+    keys absorb most of the traffic.
+
+    Under optimistic execution each hot read races the hot writes and
+    pays for losing with an abort and a replay; the batch planner binds
+    those reads to exact versions up front, which is precisely the
+    workload where abort-free execution should pull ahead (E17's second
+    table).  The conservation invariant carries over from the bank
+    workload: audits move no money, transfers preserve the total.
+    """
+
+    read_fraction: float = 0.9
+    hot_fraction: float = 0.6
+    hot_keys: int = 2
+    read_width: int = 4
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError("read_fraction must be in [0, 1]")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        if self.read_width < 1:
+            raise ValueError("read_width must be >= 1")
+        super().__post_init__()
+        if not 1 <= self.hot_keys <= len(self.accounts):
+            raise ValueError("hot_keys must be in [1, n_accounts]")
+
+    @property
+    def hot_pool(self) -> list[Entity]:
+        return self.accounts[: self.hot_keys]
+
+    def _pick_distinct(self, rng: random.Random, n: int) -> list[Entity]:
+        """``n`` distinct accounts, each drawn hot-first.
+
+        Each slot tries the hot pool with probability ``hot_fraction``
+        and falls back to the full account list once the chosen pool has
+        no unpicked member left — so the skew saturates gracefully
+        instead of rejection-sampling forever when ``hot_fraction`` is
+        high and ``n`` exceeds the hot pool.
+        """
+        picked: list[Entity] = []
+        for _ in range(n):
+            pool = (
+                self.hot_pool
+                if rng.random() < self.hot_fraction
+                else self.accounts
+            )
+            candidates = [a for a in pool if a not in picked]
+            if not candidates:
+                candidates = [a for a in self.accounts if a not in picked]
+            picked.append(rng.choice(candidates))
+        return picked
+
+    def transaction_stream(
+        self, n_transactions: int
+    ) -> Iterator[tuple[Transaction, Program | None]]:
+        """A replayable stream of ``(transaction, program)`` pairs.
+
+        Like :class:`ShardedBankScenario`, each call derives a fresh RNG
+        from the seed, so the identical stream can be fed to every
+        execution mode under comparison.
+        """
+        rng = random.Random(f"read-mostly-stream:{self.seed}")
+        for k in range(1, n_transactions + 1):
+            if rng.random() < self.read_fraction:
+                width = min(self.read_width, len(self.accounts))
+                audited = self._pick_distinct(rng, width)
+                yield audit_transaction(f"q{k}", audited), None
+                continue
+            source, target = self._pick_distinct(rng, 2)
             amount = rng.randint(1, 20)
             yield (
                 transfer_transaction(f"t{k}", source, target),

@@ -1,0 +1,159 @@
+"""The batch planner driver and the execution-mode registry."""
+
+import json
+
+import pytest
+
+from repro.engine.errors import EngineError
+from repro.planner import BatchPlanner
+from repro.runtime.modes import EXECUTION_MODES, run_stream
+from repro.workloads.bank import transfer_program, transfer_transaction
+from repro.workloads.streams import ReadMostlyScenario, ShardedBankScenario
+
+
+def bank(seed=5):
+    return ShardedBankScenario(
+        n_shards=4, accounts_per_shard=4, cross_fraction=0.2,
+        hot_fraction=0.2, seed=seed,
+    )
+
+
+class TestDriver:
+    @pytest.mark.parametrize("deterministic", [True, False])
+    def test_bank_stream_commits_everything(self, deterministic):
+        scenario = bank()
+        planner = BatchPlanner(
+            initial=scenario.initial_state(), n_workers=4,
+            batch_size=16, deterministic=deterministic,
+        )
+        metrics = planner.run(scenario.transaction_stream(120))
+        assert metrics.committed == metrics.submitted == 120
+        assert metrics.cc_aborts == 0
+        assert metrics.logic_aborted == 0
+        assert metrics.batches == 120 // 16 + 1
+        assert scenario.invariant_holds(planner.final_state())
+        assert planner.store.placeholder_count() == 0
+
+    def test_partial_final_batch_runs(self):
+        scenario = bank()
+        planner = BatchPlanner(
+            initial=scenario.initial_state(), n_workers=2,
+            batch_size=1000, deterministic=True,
+        )
+        metrics = planner.run(scenario.transaction_stream(30))
+        assert metrics.committed == 30
+        assert metrics.batches == 1
+
+    def test_deterministic_metrics_byte_identical(self):
+        dicts = []
+        for _ in range(2):
+            scenario = bank()
+            planner = BatchPlanner(
+                initial=scenario.initial_state(), n_workers=4,
+                batch_size=32, deterministic=True,
+            )
+            metrics = planner.run(scenario.transaction_stream(100))
+            dicts.append(json.dumps(metrics.as_dict()))
+        assert dicts[0] == dicts[1]
+
+    def test_gc_bounds_version_retention(self):
+        scenario = bank()
+        with_gc = BatchPlanner(
+            initial=scenario.initial_state(), n_workers=4,
+            batch_size=16, deterministic=True,
+        )
+        m = with_gc.run(scenario.transaction_stream(200))
+        without_gc = BatchPlanner(
+            initial=scenario.initial_state(), n_workers=4,
+            batch_size=16, deterministic=True, gc_enabled=False,
+        )
+        n = without_gc.run(scenario.transaction_stream(200))
+        assert m.committed == n.committed == 200
+        # GC keeps only the per-entity bases; without it every published
+        # version is retained.
+        assert m.engine.final_versions < n.engine.final_versions
+        assert m.engine.gc.versions_pruned > 0
+        # Both realize the identical final state.
+        assert with_gc.final_state() == without_gc.final_state()
+
+    def test_logic_abort_settles_against_commit_closure(self):
+        def boom(write_index, reads):
+            raise RuntimeError("logic abort")
+
+        stream = [
+            (transfer_transaction("t1", "a", "b"), transfer_program(5)),
+            (transfer_transaction("t2", "b", "c"), boom),
+            (transfer_transaction("t3", "c", "d"), transfer_program(2)),
+        ]
+        planner = BatchPlanner(
+            initial={k: 100 for k in "abcd"}, n_workers=2,
+            batch_size=8, deterministic=True,
+        )
+        metrics = planner.run(stream)
+        assert metrics.committed == 1
+        assert metrics.logic_aborted == 1
+        assert metrics.cascade_aborted == 1
+        assert metrics.cc_aborts == 0
+        state = planner.final_state()
+        assert sum(state.values()) == 400
+        assert planner.store.placeholder_count() == 0
+
+    def test_single_use(self):
+        planner = BatchPlanner(n_workers=1, batch_size=4)
+        planner.run([])
+        with pytest.raises(EngineError):
+            planner.run([])
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            BatchPlanner(n_workers=0)
+        with pytest.raises(ValueError):
+            BatchPlanner(batch_size=0)
+
+    def test_latency_measures_batching_delay(self):
+        scenario = bank()
+        planner = BatchPlanner(
+            initial=scenario.initial_state(), n_workers=2,
+            batch_size=10, deterministic=True,
+        )
+        metrics = planner.run(scenario.transaction_stream(10))
+        # First admitted waits out the whole batch; last waits one tick.
+        assert metrics.latency.max == 10
+        assert metrics.latency.min == 1
+
+
+class TestModesRegistry:
+    def test_registry_names(self):
+        assert set(EXECUTION_MODES) == {"serial", "parallel", "planner"}
+
+    @pytest.mark.parametrize("mode", ["serial", "parallel", "planner"])
+    def test_all_modes_run_the_same_stream(self, mode):
+        scenario = bank()
+        metrics, final_state = run_stream(
+            mode,
+            scenario.transaction_stream(60),
+            scenario.initial_state(),
+            workers=2,
+            deterministic=True,
+            seed=3,
+        )
+        assert scenario.invariant_holds(final_state)
+        assert metrics.committed > 0
+        assert isinstance(metrics.as_dict(), dict)
+
+    def test_planner_mode_on_read_mostly(self):
+        scenario = ReadMostlyScenario(n_shards=4, seed=2)
+        metrics, final_state = run_stream(
+            "planner",
+            scenario.transaction_stream(80),
+            scenario.initial_state(),
+            workers=4,
+            batch_size=32,
+        )
+        assert metrics.committed == 80
+        assert metrics.cc_aborts == 0
+        assert scenario.invariant_holds(final_state)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            run_stream("quantum", [], {})

@@ -1,0 +1,158 @@
+"""The planning phase: slot reservation and read binding."""
+
+import pytest
+
+from repro.engine.errors import EngineError
+from repro.model.schedules import T_INIT
+from repro.model.transactions import Transaction
+from repro.planner.planning import plan_batch
+from repro.storage.sharded import ShardedMultiversionStore
+
+
+def plan(items, n_shards=4, initial=None, threaded=False):
+    store = ShardedMultiversionStore(n_shards, initial or {})
+    return plan_batch(items, store, 0, 0, threaded=threaded), store
+
+
+def by_txn(batch_plan):
+    return {p.txn: p for p in batch_plan}
+
+
+class TestReservation:
+    def test_every_write_reserves_a_slot_in_order(self):
+        t1 = Transaction.build("A", ("W", "x"), ("W", "y"), ("W", "x"))
+        batch, store = plan([(t1, None)])
+        ptxn = by_txn(batch)["A"]
+        assert len(ptxn.slots) == 3
+        assert [s.entity for s in ptxn.slots] == ["x", "y", "x"]
+        # Positions follow global (timestamp, step) order.
+        assert [s.position for s in ptxn.slots] == [0, 1, 2]
+        # Chain order of x matches: base, then the two reserved slots.
+        assert [v.position for v in store.versions("x")] == [None, 0, 2]
+        assert store.placeholder_count() == 3
+        # Reserved slots are not materialized: only x/y initials count.
+        assert store.version_count() == 2
+
+    def test_positions_continue_across_transactions(self):
+        t1 = Transaction.build("A", ("W", "x"))
+        t2 = Transaction.build("B", ("W", "x"))
+        batch, store = plan([(t1, None), (t2, None)])
+        planned = by_txn(batch)
+        assert planned["A"].slots[0].position == 0
+        assert planned["B"].slots[0].position == 1
+        assert planned["A"].timestamp < planned["B"].timestamp
+
+
+class TestBinding:
+    def test_base_read_binds_committed_state(self):
+        t1 = Transaction.build("A", ("R", "x"))
+        batch, store = plan([(t1, None)], initial={"x": 42})
+        binding = by_txn(batch)["A"].bindings[0]
+        assert binding.is_base
+        assert binding.source_txn == T_INIT
+        assert binding.source.value == 42
+        assert by_txn(batch)["A"].deps == frozenset()
+
+    def test_read_binds_newest_smaller_timestamp_write(self):
+        t1 = Transaction.build("A", ("W", "x"))
+        t2 = Transaction.build("B", ("W", "x"))
+        t3 = Transaction.build("C", ("R", "x"))
+        batch, _ = plan([(t1, None), (t2, None), (t3, None)])
+        planned = by_txn(batch)
+        binding = planned["C"].bindings[0]
+        assert binding.source_txn == "B"
+        assert binding.source is planned["B"].slots[0]
+        # MVTO rule: the dependency is on B only, never A.
+        assert planned["C"].deps == frozenset({"B"})
+
+    def test_own_write_shadows_earlier_transactions(self):
+        t1 = Transaction.build("A", ("W", "x"))
+        t2 = Transaction.build("B", ("W", "x"), ("R", "x"))
+        batch, _ = plan([(t1, None), (t2, None)])
+        planned = by_txn(batch)
+        binding = planned["B"].bindings[0]
+        assert binding.is_own
+        assert binding.source is planned["B"].slots[0]
+        # An own-write read is not a commit dependency.
+        assert planned["B"].deps == frozenset()
+
+    def test_read_before_own_write_binds_predecessor(self):
+        t1 = Transaction.build("A", ("W", "x"))
+        t2 = Transaction.build("B", ("R", "x"), ("W", "x"))
+        batch, _ = plan([(t1, None), (t2, None)])
+        planned = by_txn(batch)
+        assert planned["B"].bindings[0].source_txn == "A"
+        assert planned["B"].deps == frozenset({"A"})
+
+    def test_dep_map_and_readers_are_inverse(self):
+        t1 = Transaction.build("A", ("W", "x"))
+        t2 = Transaction.build("B", ("R", "x"), ("W", "y"))
+        t3 = Transaction.build("C", ("R", "y"), ("R", "x"))
+        batch, _ = plan([(t1, None), (t2, None), (t3, None)])
+        assert batch.dep_map == {
+            "A": set(), "B": {"A"}, "C": {"A", "B"},
+        }
+        assert batch.readers == {"A": {"B", "C"}, "B": {"C"}}
+
+    def test_cascade_closure(self):
+        t1 = Transaction.build("A", ("W", "x"))
+        t2 = Transaction.build("B", ("R", "x"), ("W", "y"))
+        t3 = Transaction.build("C", ("R", "y"))
+        t4 = Transaction.build("D", ("R", "z"))
+        batch, _ = plan([(t1, None), (t2, None), (t3, None), (t4, None)])
+        assert batch.cascade_from({"A"}) == {"A", "B", "C"}
+        assert batch.cascade_from({"B"}) == {"B", "C"}
+        assert batch.cascade_from({"D"}) == {"D"}
+
+
+class TestPartitioning:
+    def txns(self):
+        entities = [f"e{k}" for k in range(12)]
+        txns = []
+        for i in range(8):
+            a, b = entities[i % 12], entities[(i * 5 + 3) % 12]
+            txns.append(
+                (
+                    Transaction.build(
+                        f"t{i}", ("R", a), ("R", b), ("W", a), ("W", b)
+                    ),
+                    None,
+                )
+            )
+        return txns
+
+    def summarize(self, batch):
+        return [
+            (
+                p.txn,
+                p.timestamp,
+                [(b.step_index, b.source_txn) for b in p.bindings],
+                [(s.entity, s.position) for s in p.slots],
+                sorted(p.deps, key=repr),
+            )
+            for p in batch
+        ]
+
+    def test_partition_count_does_not_change_the_plan(self):
+        reference = None
+        for n_shards in (1, 2, 4, 8):
+            batch, _ = plan(self.txns(), n_shards=n_shards)
+            summary = self.summarize(batch)
+            if reference is None:
+                reference = summary
+            assert summary == reference
+
+    def test_threaded_planning_matches_inline(self):
+        inline, _ = plan(self.txns(), n_shards=4, threaded=False)
+        threaded, _ = plan(self.txns(), n_shards=4, threaded=True)
+        assert self.summarize(inline) == self.summarize(threaded)
+
+
+class TestGuards:
+    def test_refuses_unsettled_placeholders(self):
+        t1 = Transaction.build("A", ("W", "x"))
+        store = ShardedMultiversionStore(2)
+        plan_batch([(t1, None)], store, 0, 0)
+        assert store.placeholder_count() == 1
+        with pytest.raises(EngineError):
+            plan_batch([(t1, None)], store, 1, 1)

@@ -1,0 +1,150 @@
+"""Placeholder versions: lifecycle, counting, sharded aggregation."""
+
+import pytest
+
+from repro.storage.mvstore import (
+    MultiversionStore,
+    PlaceholderState,
+    UNWRITTEN,
+)
+from repro.storage.sharded import ShardedMultiversionStore
+
+
+class TestLifecycle:
+    def test_reserve_fixes_chain_position(self):
+        store = MultiversionStore({"x": 1})
+        slot = store.reserve("x", "A", 0)
+        assert slot.is_placeholder
+        assert slot.state is PlaceholderState.PENDING
+        assert slot.value is UNWRITTEN
+        assert store.at_position("x", 0) is slot
+        # A later normal install lands after the reserved slot.
+        later = store.install("x", "B", 9, 1)
+        assert store.versions("x")[-2:] == [slot, later]
+
+    def test_fill_publishes_and_wakes(self):
+        store = MultiversionStore()
+        slot = store.reserve("x", "A", 0)
+        assert not slot.decided
+        store.fill(slot, 42)
+        assert slot.state is PlaceholderState.FILLED
+        assert slot.materialized
+        assert slot.value == 42
+        assert slot.wait(0)  # event already set
+
+    def test_fill_twice_is_a_bug(self):
+        store = MultiversionStore()
+        slot = store.reserve("x", "A", 0)
+        store.fill(slot, 1)
+        with pytest.raises(ValueError):
+            store.fill(slot, 2)
+
+    def test_poison_is_idempotent_and_terminal(self):
+        store = MultiversionStore()
+        slot = store.reserve("x", "A", 0)
+        store.poison(slot)
+        store.poison(slot)  # idempotent
+        assert slot.state is PlaceholderState.POISONED
+        assert slot.wait(0)
+        with pytest.raises(ValueError):
+            store.fill(slot, 1)
+
+    def test_poison_after_fill_is_a_bug(self):
+        store = MultiversionStore()
+        slot = store.reserve("x", "A", 0)
+        store.fill(slot, 1)
+        with pytest.raises(ValueError):
+            store.poison(slot)
+
+    def test_lifecycle_methods_reject_normal_versions(self):
+        store = MultiversionStore()
+        version = store.install("x", "A", 1, 0)
+        with pytest.raises(ValueError):
+            store.fill(version, 2)
+        with pytest.raises(ValueError):
+            store.poison(version)
+
+    def test_identity_semantics(self):
+        store = MultiversionStore()
+        a = store.reserve("x", "A", 0)
+        b = store.reserve("x", "A", 1)
+        assert a != b
+        assert len({a, b}) == 2
+        store.fill(a, 5)
+        # Hash is stable across the fill (identity, not field hash).
+        assert a in {a, b}
+
+
+class TestCounting:
+    """Regression: aggregation must skip unmaterialized placeholders."""
+
+    def test_version_count_skips_pending(self):
+        store = MultiversionStore({"x": 1})
+        store.install("x", "A", 2, 0)
+        assert store.version_count() == 2
+        slot = store.reserve("x", "B", 1)
+        assert store.version_count() == 2
+        assert store.placeholder_count() == 1
+        store.fill(slot, 3)
+        assert store.version_count() == 3
+        assert store.placeholder_count() == 0
+
+    def test_removed_poisoned_slot_rebalances_counts(self):
+        store = MultiversionStore({"x": 1})
+        slot = store.reserve("x", "A", 0)
+        store.poison(slot)
+        assert store.version_count() == 1
+        assert store.placeholder_count() == 1
+        store.remove(slot)
+        assert store.version_count() == 1
+        assert store.placeholder_count() == 0
+        assert store.versions("x") == [store.initial("x")]
+
+    def test_final_state_skips_unmaterialized_tails(self):
+        store = MultiversionStore({"x": 1})
+        store.install("x", "A", 2, 0)
+        store.reserve("x", "B", 1)
+        assert store.final_state() == {"x": 2}
+
+
+class TestShardedAggregation:
+    """Regression: sharded stats use the same skip rule as the shards."""
+
+    def build(self):
+        store = ShardedMultiversionStore(4, {f"e{k}": k for k in range(8)})
+        slots = [
+            store.reserve(f"e{k}", f"w{k}", k) for k in range(8)
+        ]
+        return store, slots
+
+    def test_version_count_and_placeholder_count(self):
+        store, slots = self.build()
+        assert store.version_count() == 8  # initials only
+        assert store.placeholder_count() == 8
+        for slot in slots[:3]:
+            store.fill(slot, 0)
+        assert store.version_count() == 11
+        assert store.placeholder_count() == 5
+
+    def test_shard_sizes_sum_to_version_count(self):
+        store, slots = self.build()
+        store.fill(slots[0], 0)
+        assert sum(store.shard_sizes()) == store.version_count()
+
+    def test_snapshot_stats_split_versions_and_placeholders(self):
+        store, slots = self.build()
+        store.fill(slots[0], 0)
+        stats = store.snapshot_stats()
+        assert sum(row["versions"] for row in stats) == store.version_count()
+        assert (
+            sum(row["placeholders"] for row in stats)
+            == store.placeholder_count()
+            == 7
+        )
+
+    def test_final_state_skips_pending_slots(self):
+        store, slots = self.build()
+        store.fill(slots[2], 99)
+        state = store.final_state()
+        assert state["e2"] == 99
+        assert state["e0"] == 0  # pending slot skipped, base shows

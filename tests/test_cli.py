@@ -201,3 +201,61 @@ class TestEngine:
         out = capsys.readouterr().out
         for name in ["2pl", "2v2pl", "mvto", "sgt", "si"]:
             assert f"== {name} on inventory" in out
+
+
+class TestPlanner:
+    def test_bank_run_reports_metrics(self, capsys):
+        assert main([
+            "planner", "--workers", "4", "--txns", "60",
+            "--deterministic", "--batch-size", "16",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "batch planner on bank" in out
+        assert "cc aborts     0" in out
+        assert "abort-free by construction" in out
+        assert "invariant     ok" in out
+
+    def test_read_mostly_workload(self, capsys):
+        assert main([
+            "planner", "--workload", "readmostly", "--workers", "2",
+            "--txns", "50", "--read-fraction", "0.8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "batch planner on readmostly" in out
+        assert "invariant     ok" in out
+
+    def test_deterministic_output_is_byte_identical(self, capsys):
+        argv = [
+            "planner", "--workers", "4", "--txns", "50",
+            "--deterministic", "--seed", "9", "--batch-size", "8",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    @pytest.mark.parametrize(
+        "flag", ["--workers", "--batch-size", "--txns"]
+    )
+    def test_counts_must_be_positive(self, flag, capsys):
+        """The shared execution-args helper validates at parse time for
+        the planner exactly as for engine/runtime."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["planner", flag, "0"])
+        assert excinfo.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_fractions_validated_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["planner", "--read-fraction", "2"])
+        assert excinfo.value.code == 2
+        assert "must be in [0, 1]" in capsys.readouterr().err
+
+    def test_planner_has_no_retry_or_epoch_flags(self, capsys):
+        """Flags that cannot apply (nothing aborts, batch == epoch) do
+        not exist on the planner subcommand."""
+        for flag in ("--max-retries", "--epoch-steps", "--gc-every"):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["planner", flag, "4"])
+            assert excinfo.value.code == 2

@@ -1,6 +1,8 @@
-"""Schedule streams."""
+"""Schedule streams and the read-mostly scenario."""
 
-from repro.workloads.streams import schedule_stream
+import pytest
+
+from repro.workloads.streams import ReadMostlyScenario, schedule_stream
 
 
 class TestStream:
@@ -35,3 +37,86 @@ class TestStream:
                     hot += step.entity == "e0"
             return hot / total
         assert hot_share(skewed) > hot_share(flat)
+
+
+class TestReadMostlyScenario:
+    def scenario(self, **kw):
+        defaults = dict(
+            n_shards=4, accounts_per_shard=4, read_fraction=0.9,
+            hot_fraction=0.6, hot_keys=2, read_width=4, seed=3,
+        )
+        defaults.update(kw)
+        return ReadMostlyScenario(**defaults)
+
+    def test_read_write_mix_tracks_read_fraction(self):
+        items = list(self.scenario().transaction_stream(400))
+        reads = sum(1 for t, program in items if program is None)
+        assert 0.8 <= reads / len(items) <= 0.97
+        # Read-only transactions really are read-only; transfers write.
+        for transaction, program in items:
+            if program is None:
+                assert not transaction.write_set
+            else:
+                assert len(transaction.write_set) == 2
+
+    def test_hot_keys_absorb_most_accesses(self):
+        hot = self.scenario(hot_fraction=0.8)
+        cold = self.scenario(hot_fraction=0.0)
+
+        def hot_share(scenario):
+            pool = set(scenario.hot_pool)
+            total = in_pool = 0
+            for transaction, _ in scenario.transaction_stream(300):
+                for step in transaction.steps:
+                    total += 1
+                    in_pool += step.entity in pool
+            return in_pool / total
+
+        assert hot_share(hot) > 2 * hot_share(cold)
+
+    def test_full_hot_fraction_terminates(self):
+        """Regression: hot_fraction=1.0 with read_width > hot pool must
+        fall back to cold accounts instead of rejection-sampling
+        forever."""
+        scenario = self.scenario(hot_fraction=1.0, hot_keys=2, read_width=4)
+        items = list(scenario.transaction_stream(50))
+        assert len(items) == 50
+        for transaction, program in items:
+            if program is None:
+                # Audits still read read_width *distinct* accounts.
+                entities = [s.entity for s in transaction.steps]
+                assert len(set(entities)) == len(entities) == 4
+
+    def test_stream_is_replayable(self):
+        scenario = self.scenario()
+        first = [str(t) for t, _ in scenario.transaction_stream(80)]
+        again = [str(t) for t, _ in scenario.transaction_stream(80)]
+        assert first == again
+
+    def test_different_seeds_differ(self):
+        a = [str(t) for t, _ in self.scenario(seed=1).transaction_stream(60)]
+        b = [str(t) for t, _ in self.scenario(seed=2).transaction_stream(60)]
+        assert a != b
+
+    def test_invariant_is_conservation(self):
+        scenario = self.scenario()
+        state = scenario.initial_state()
+        assert scenario.invariant_holds(state)
+        accounts = scenario.accounts
+        state[accounts[0]] -= 7
+        state[accounts[1]] += 7
+        assert scenario.invariant_holds(state)
+        state[accounts[2]] += 1
+        assert not scenario.invariant_holds(state)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.scenario(read_fraction=1.5)
+        with pytest.raises(ValueError):
+            self.scenario(hot_fraction=-0.1)
+        with pytest.raises(ValueError):
+            self.scenario(accounts_per_shard=1)
+        with pytest.raises(ValueError):
+            self.scenario(read_width=0)
+        with pytest.raises(ValueError):
+            self.scenario(hot_keys=0)
