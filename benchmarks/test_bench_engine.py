@@ -15,46 +15,36 @@ writes.
 
 import os
 
-from repro.engine import (
-    ConcurrentDriver,
-    OnlineEngine,
-    RetryPolicy,
-    scheduler_factory,
-)
-from repro.workloads.bank import BankWorkload
-from repro.workloads.inventory import InventoryWorkload
+from repro.db import Database, RunConfig
 
 SCHEDULERS = ["2pl", "sgt", "2v2pl", "mvto", "si"]
 N_TXNS = int(os.environ.get("REPRO_BENCH_TXNS", "120"))
 N_SESSIONS = 4
 
-
-def _make(workload_name: str, seed: int = 7):
-    if workload_name == "bank":
-        workload = BankWorkload(n_accounts=8, hot_fraction=0.5, seed=seed)
-        stream = workload.transaction_stream(N_TXNS, audit_every=8)
-    else:
-        workload = InventoryWorkload(n_warehouses=4, seed=seed)
-        stream = workload.transaction_stream(N_TXNS)
-    return workload, stream
+SCENARIO_PARAMS = {
+    "bank": {"n_accounts": 8, "hot_fraction": 0.5, "audit_every": 8,
+             "seed": 7},
+    "inventory": {"n_warehouses": 4, "seed": 7},
+}
 
 
 def _run(workload_name: str, scheduler_name: str, gc_enabled: bool):
-    workload, stream = _make(workload_name)
-    engine = OnlineEngine(
-        scheduler_factory(scheduler_name),
-        initial=workload.initial_state(),
-        n_shards=8,
-        gc_enabled=gc_enabled,
-        gc_every_commits=16,
+    config = RunConfig(
+        mode="serial",
+        scheduler=scheduler_name,
+        workers=N_SESSIONS,
+        gc=gc_enabled,
+        gc_every=16,
         epoch_max_steps=128,
+        seed=11,
     )
-    driver = ConcurrentDriver(
-        engine, stream, n_sessions=N_SESSIONS, retry=RetryPolicy(), seed=11
+    report = Database().run(
+        workload_name, config, txns=N_TXNS,
+        **SCENARIO_PARAMS[workload_name],
     )
-    metrics = driver.run()
-    invariant = workload.invariant_holds(engine.store.final_state())
-    return metrics, invariant
+    # The native EngineMetrics ride along for drill-down counters the
+    # uniform schema deliberately leaves mode-specific.
+    return report.metrics, report.invariant_ok
 
 
 def test_bench_engine(benchmark, table_writer):

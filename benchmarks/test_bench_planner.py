@@ -1,7 +1,8 @@
 """E17 — abort-free batch planner vs the online execution modes.
 
 Runs the identical stream through all three execution modes via the
-:mod:`repro.runtime.modes` registry — serial engine (abort/retry),
+typed Database API (:class:`repro.db.Database` over the backend
+registry) — serial engine (abort/retry),
 parallel shard runtime (group commit), batch planner (plan-then-execute)
 — on two workloads: the sharded bank scenario (E16's write-heavy
 baseline) and the read-mostly hot-key scenario, where nearly every
@@ -24,7 +25,7 @@ Pinned claims:
 import json
 import os
 
-from repro.runtime.modes import run_stream
+from repro.db import Database, RunConfig
 from repro.workloads.streams import ReadMostlyScenario, ShardedBankScenario
 
 N_TXNS = int(os.environ.get("REPRO_BENCH_TXNS", "400"))
@@ -52,16 +53,16 @@ def scenarios():
 
 
 def run_mode(workload, mode, **options):
-    metrics, final_state = run_stream(
-        mode,
-        workload.transaction_stream(N_TXNS),
-        workload.initial_state(),
-        scheduler="mvto",
-        seed=11,
-        **options,
+    # The planner needs no scheduler (and RunConfig would reject one).
+    if mode != "planner":
+        options.setdefault("scheduler", "mvto")
+    report = Database().run(
+        workload,
+        RunConfig(mode=mode, seed=11, **options),
+        txns=N_TXNS,
     )
-    assert workload.invariant_holds(final_state)
-    return metrics
+    assert report.invariant_ok
+    return report
 
 
 def test_bench_planner(benchmark, table_writer):
@@ -99,7 +100,7 @@ def test_bench_planner(benchmark, table_writer):
                 "committed": serial.committed,
                 "txn/s": round(serial.throughput),
                 "speedup": 1.0,
-                "cc_aborts": serial.aborted_total,
+                "cc_aborts": serial.cc_aborts,
                 "lat_mean": round(serial.latency.mean, 1),
                 "lat_p95": serial.latency.p95,
             }
@@ -114,7 +115,7 @@ def test_bench_planner(benchmark, table_writer):
                 "speedup": round(
                     parallel.throughput / serial.throughput, 2
                 ) if serial.throughput else "-",
-                "cc_aborts": parallel.aborted,
+                "cc_aborts": parallel.cc_aborts,
                 "lat_mean": round(parallel.latency.mean, 1),
                 "lat_p95": parallel.latency.p95,
             }
@@ -147,7 +148,9 @@ def test_bench_planner(benchmark, table_writer):
             for deterministic in (True, False):
                 m = results[(wname, "planner", workers, deterministic)]
                 assert m.cc_aborts == 0, (wname, workers, deterministic)
-                assert m.logic_aborted == 0 and m.cascade_aborted == 0
+                native = m.metrics
+                assert native.logic_aborted == 0
+                assert native.cascade_aborted == 0
                 assert m.committed == m.submitted == N_TXNS
         # Throughput: the planner at 4 workers clears the serial engine
         # (wall-clock; disengaged at CI smoke sizes like E16).

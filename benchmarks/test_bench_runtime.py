@@ -4,7 +4,9 @@ Runs the sharded bank scenario through the parallel runtime
 (:mod:`repro.runtime`) across worker counts and group-commit batch
 sizes, in deterministic and threaded mode, against the PR 1 serial
 engine (:mod:`repro.engine`) as baseline — same stream, same scheduler,
-same retry policy.
+same retry policy.  Both paths go through the typed Database API
+(:class:`repro.db.RunConfig` → :class:`repro.db.RunReport`), so the
+columns compared here are the guaranteed cross-mode schema.
 
 Expected shape: the win comes from the execution model, not threads
 (the GIL serializes CPU-bound Python).  Whole-transaction tasks are
@@ -20,13 +22,7 @@ runs (below 200 txns the wall-clock ratio assert disengages).
 
 import os
 
-from repro.engine import (
-    ConcurrentDriver,
-    OnlineEngine,
-    RetryPolicy,
-    scheduler_factory,
-)
-from repro.runtime import ShardRuntime
+from repro.db import Database, RunConfig
 from repro.workloads.streams import ShardedBankScenario
 
 N_TXNS = int(os.environ.get("REPRO_BENCH_TXNS", "400"))
@@ -47,38 +43,29 @@ def scenario():
 
 
 def run_serial(workload, name):
-    engine = OnlineEngine(
-        scheduler_factory(name),
-        initial=workload.initial_state(),
-        n_shards=4,
-        epoch_max_steps=256,
+    report = Database().run(
+        workload,
+        RunConfig(
+            mode="serial", scheduler=name, workers=4,
+            epoch_max_steps=256, seed=11,
+        ),
+        txns=N_TXNS,
     )
-    driver = ConcurrentDriver(
-        engine,
-        workload.transaction_stream(N_TXNS),
-        n_sessions=4,
-        retry=RetryPolicy(),
-        seed=11,
-    )
-    metrics = driver.run()
-    assert workload.invariant_holds(engine.store.final_state())
-    return metrics
+    assert report.invariant_ok
+    return report
 
 
 def run_runtime(workload, name, workers, batch, deterministic):
-    runtime = ShardRuntime(
-        name,
-        initial=workload.initial_state(),
-        n_workers=workers,
-        batch_size=batch,
-        inflight=16,
-        deterministic=deterministic,
-        retry=RetryPolicy(),
-        seed=11,
+    report = Database().run(
+        workload,
+        RunConfig(
+            mode="parallel", scheduler=name, workers=workers,
+            batch_size=batch, deterministic=deterministic, seed=11,
+        ),
+        txns=N_TXNS,
     )
-    metrics = runtime.run(workload.transaction_stream(N_TXNS))
-    assert workload.invariant_holds(runtime.final_state())
-    return metrics
+    assert report.invariant_ok
+    return report
 
 
 def test_bench_runtime(benchmark, table_writer):
@@ -109,7 +96,7 @@ def test_bench_runtime(benchmark, table_writer):
                 "committed": serial.committed,
                 "txn/s": round(serial.throughput),
                 "speedup": 1.0,
-                "aborted": serial.aborted_total,
+                "aborted": serial.aborted,
                 "lat_mean": round(serial.latency.mean, 1),
                 "lat_p95": serial.latency.p95,
             }

@@ -1,55 +1,35 @@
 #!/usr/bin/env python3
-"""Quickstart: schedules, classes, and version functions in five minutes.
+"""Quickstart: the Database API (the README snippet, executable).
 
-Run:  python examples/quickstart.py
+One typed entry point over every execution mode: pick a scenario and a
+``RunConfig``, get back a ``RunReport`` with the guaranteed cross-mode
+metric schema.  CI runs this file, so the README example cannot rot.
+
+Run:  PYTHONPATH=src python examples/quickstart.py
 """
 
-from repro import (
-    classify,
-    find_mvsr_serialization,
-    is_csr,
-    is_mvcsr,
-    is_mvsr,
-    is_serial,
-    is_vsr,
-    membership_profile,
-    parse_schedule,
-)
-from repro.model.parsing import format_schedule_by_transaction
+from repro.db import Database, RunConfig
 
+db = Database()
+config = RunConfig(mode="planner", workers=4, deterministic=True, seed=7)
+report = db.run("read-mostly", config, txns=400)
+print(report.report())
 
-def main() -> None:
-    # The paper's notation parses directly: R<txn>(<entity>) / W<txn>(...).
-    s = parse_schedule("RA(x) WA(x) RB(x) RB(y) WB(y) RA(y) WA(y)")
+# The guaranteed schema holds for every backend — swap the mode and the
+# same keys come back (see repro.db.GUARANTEED_SCHEMA).
+assert report.invariant_ok
+assert report.as_dict()["cc_aborts"] == 0  # abort-free by construction
 
-    print("The schedule, one row per transaction:\n")
-    print(format_schedule_by_transaction(s))
-
-    print("\nClass membership:")
-    print(f"  serial: {is_serial(s)}")
-    print(f"  CSR   : {is_csr(s)}    (conflict graph acyclic)")
-    print(f"  VSR   : {is_vsr(s)}   (view-equivalent to a serial schedule)")
-    print(f"  MVCSR : {is_mvcsr(s)}    (Theorem 1: MVCG acyclic)")
-    print(f"  MVSR  : {is_mvsr(s)}    (Theorem 3 guarantees this from MVCSR)")
-    print(f"  region: {classify(s)!r}")
-
-    # This schedule is the paper's prime example of multiversion value:
-    # no single-version scheduler can accept it (not VSR), yet serving
-    # R_B(x) an *older version* makes it equivalent to serial B, A.
-    order, vf = find_mvsr_serialization(s)
-    print(f"\nSerialization witness: {order}")
-    for read_pos, source in sorted(vf.assignments.items()):
-        step = s[read_pos]
-        if source == "T0":
-            print(f"  {step}  <-  initial version (T0)")
-        else:
-            print(f"  {step}  <-  {s[source]}")
-
-    print("\nFull membership profile:")
-    profile = membership_profile(s)
-    for name, member in profile.as_dict().items():
-        print(f"  {name:>6}: {member}")
-
-
-if __name__ == "__main__":
-    main()
+for mode in Database.backends():
+    r = db.run(
+        "sharded-bank",
+        RunConfig(mode=mode, workers=2, deterministic=True, seed=7),
+        txns=120,
+    )
+    d = r.as_dict()
+    print(
+        f"{mode:>9}: committed {d['committed']:3d}  "
+        f"cc_aborts {d['cc_aborts']:3d}  invariant "
+        f"{'ok' if d['invariant_ok'] else 'VIOLATED'}"
+    )
+    assert d["invariant_ok"]

@@ -8,9 +8,19 @@
     python -m repro figure1
     python -m repro census --samples 200 --txns 3 --steps 2
     python -m repro sat "a|b & ~a|~b"
-    python -m repro engine --workload bank --scheduler mvto --txns 200
-    python -m repro runtime --scheduler mvto --workers 4 --batch-size 8
-    python -m repro planner --workload readmostly --workers 4 --deterministic
+    python -m repro run --mode serial --scenario bank --txns 200
+    python -m repro run --mode parallel --workers 4 --deterministic
+    python -m repro run --mode planner --scenario read-mostly --seed 7
+    python -m repro run --list-modes
+    python -m repro run --list-scenarios
+
+``run`` is the single execution entry point, built on the typed
+Database API (:mod:`repro.db`): ``--mode`` picks the execution backend,
+``--scenario`` the workload, and every option is validated against the
+backend's declared contract — an option the mode cannot honor is a
+usage error, never silently dropped.  The pre-PR-4 subcommands
+``engine`` / ``runtime`` / ``planner`` survive as deprecated aliases
+that delegate to the same API.
 
 Output goes to stdout; exit status is 0 on success, 1 on a negative
 decision (not in class / not OLS / unsatisfiable / invariant violated /
@@ -20,16 +30,20 @@ engine fault), 2 on usage errors.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
 from repro.analysis.figure1 import figure1_table
 from repro.analysis.topography import census, cumulative_class_sizes
 from repro.classes.hierarchy import REGIONS, classify, membership_profile
+from repro.db import Database, RunConfig, get_backend
+from repro.engine.factory import SCHEDULER_FACTORIES
 from repro.model.parsing import format_schedule_by_transaction, parse_schedule
 from repro.ols.decision import is_ols
 from repro.sat.cnf import CNF, Lit
 from repro.sat.solver import solve
+from repro.workloads.registry import scenario_names, scenario_spec
 
 
 def _fraction(text: str) -> float:
@@ -65,45 +79,6 @@ def _nonnegative_int(text: str) -> int:
     if value < 0:
         raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return value
-
-
-def _add_execution_args(
-    p: argparse.ArgumentParser,
-    *,
-    txns_default: int,
-    parallel: bool = False,
-    retries: bool = True,
-    epoch_steps_default: int | None = 256,
-    gc_every: bool = True,
-    batch_size_default: int = 8,
-    batch_size_help: str = "group-commit batch size",
-) -> None:
-    """The stream-execution arguments every execution mode shares.
-
-    One definition for ``engine`` / ``runtime`` / ``planner`` so the
-    three subcommands cannot drift: the same names, the same defaults
-    where they overlap, and the same parse-time validation (positive
-    counts, fractions in [0, 1]) everywhere.  ``parallel`` adds the
-    worker/batch/deterministic trio the runtime and planner share;
-    the flags a mode has no use for are simply not added.
-    """
-    p.add_argument("--txns", type=_positive_int, default=txns_default)
-    p.add_argument("--seed", type=int, default=0)
-    if parallel:
-        p.add_argument("--workers", type=_positive_int, default=4)
-        p.add_argument("--batch-size", type=_positive_int,
-                       default=batch_size_default, help=batch_size_help)
-        p.add_argument("--deterministic", action="store_true",
-                       help="single-threaded reproducible mode")
-    if retries:
-        p.add_argument("--max-retries", type=_positive_int, default=8)
-    p.add_argument("--no-gc", action="store_true")
-    if gc_every:
-        p.add_argument("--gc-every", type=_nonnegative_int, default=32,
-                       help="collect every N commits")
-    if epoch_steps_default is not None:
-        p.add_argument("--epoch-steps", type=_positive_int,
-                       default=epoch_steps_default)
 
 
 def _parse_cnf(text: str) -> CNF:
@@ -220,165 +195,6 @@ def cmd_census(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_engine(args: argparse.Namespace) -> int:
-    from repro.engine import (
-        SCHEDULER_FACTORIES,
-        ConcurrentDriver,
-        OnlineEngine,
-        RetryPolicy,
-        scheduler_factory,
-    )
-    from repro.workloads.bank import BankWorkload
-    from repro.workloads.inventory import InventoryWorkload
-
-    def run_one(name: str):
-        if args.workload == "bank":
-            workload = BankWorkload(
-                n_accounts=args.entities,
-                hot_fraction=args.hot_fraction,
-                seed=args.seed,
-            )
-            stream = workload.transaction_stream(
-                args.txns, audit_every=args.audit_every
-            )
-        else:
-            workload = InventoryWorkload(
-                n_warehouses=args.entities, seed=args.seed
-            )
-            stream = workload.transaction_stream(args.txns)
-        engine = OnlineEngine(
-            scheduler_factory(name),
-            initial=workload.initial_state(),
-            n_shards=args.shards,
-            gc_enabled=not args.no_gc,
-            gc_every_commits=args.gc_every,
-            epoch_max_steps=args.epoch_steps,
-        )
-        driver = ConcurrentDriver(
-            engine,
-            stream,
-            n_sessions=args.sessions,
-            retry=RetryPolicy(max_attempts=args.max_retries),
-            seed=args.seed,
-        )
-        metrics = driver.run()
-        ok = workload.invariant_holds(engine.store.final_state())
-        return metrics, ok
-
-    names = (
-        sorted(SCHEDULER_FACTORIES)
-        if args.scheduler == "all"
-        else [args.scheduler]
-    )
-    all_ok = True
-    for name in names:
-        metrics, ok = run_one(name)
-        all_ok = all_ok and ok
-        print(f"== {name} on {args.workload} "
-              f"({args.txns} txns, {args.sessions} sessions, "
-              f"gc {'off' if args.no_gc else 'on'}) ==")
-        print(metrics.report())
-        print(f"invariant     {'ok' if ok else 'VIOLATED'}\n")
-    return 0 if all_ok else 1
-
-
-def cmd_runtime(args: argparse.Namespace) -> int:
-    from repro.engine import RetryPolicy
-    from repro.runtime import ShardRuntime
-    from repro.workloads.inventory import InventoryWorkload
-    from repro.workloads.streams import ShardedBankScenario
-
-    if args.workload == "bank":
-        workload = ShardedBankScenario(
-            n_shards=args.workers,
-            accounts_per_shard=args.accounts_per_shard,
-            cross_fraction=args.cross_fraction,
-            hot_fraction=args.hot_fraction,
-            audit_every=args.audit_every,
-            seed=args.seed,
-        )
-        stream = workload.transaction_stream(args.txns)
-    else:
-        workload = InventoryWorkload(
-            n_warehouses=args.entities, seed=args.seed
-        )
-        stream = workload.transaction_stream(args.txns)
-    runtime = ShardRuntime(
-        args.scheduler,
-        initial=workload.initial_state(),
-        n_workers=args.workers,
-        batch_size=args.batch_size,
-        inflight=args.inflight,
-        deterministic=args.deterministic,
-        retry=RetryPolicy(max_attempts=args.max_retries),
-        seed=args.seed,
-        epoch_max_steps=args.epoch_steps,
-        gc_enabled=not args.no_gc,
-        gc_every_commits=args.gc_every,
-        cross_stride=args.cross_stride,
-    )
-    metrics = runtime.run(stream)
-    ok = workload.invariant_holds(runtime.final_state())
-    print(
-        f"== {runtime.plan.scheduler_name} on sharded {args.workload} "
-        f"({args.txns} txns, {args.workers} workers, "
-        f"batch {args.batch_size}"
-        f"{', deterministic' if args.deterministic else ''}) =="
-    )
-    print(f"[{runtime.plan.note}]")
-    print(metrics.report())
-    print(f"invariant     {'ok' if ok else 'VIOLATED'}")
-    return 0 if ok else 1
-
-
-def cmd_planner(args: argparse.Namespace) -> int:
-    from repro.runtime.modes import run_stream
-    from repro.workloads.streams import (
-        ReadMostlyScenario,
-        ShardedBankScenario,
-    )
-
-    if args.workload == "bank":
-        workload = ShardedBankScenario(
-            n_shards=args.workers,
-            accounts_per_shard=args.accounts_per_shard,
-            cross_fraction=args.cross_fraction,
-            hot_fraction=args.hot_fraction,
-            audit_every=args.audit_every,
-            seed=args.seed,
-        )
-    else:
-        workload = ReadMostlyScenario(
-            n_shards=args.workers,
-            accounts_per_shard=args.accounts_per_shard,
-            read_fraction=args.read_fraction,
-            hot_fraction=args.hot_fraction,
-            seed=args.seed,
-        )
-    # The same registry entry the benchmarks compare against, so the
-    # CLI and E17 cannot diverge on what "planner mode" means.
-    metrics, final_state = run_stream(
-        "planner",
-        workload.transaction_stream(args.txns),
-        workload.initial_state(),
-        workers=args.workers,
-        batch_size=args.batch_size,
-        deterministic=args.deterministic,
-        gc_enabled=not args.no_gc,
-        seed=args.seed,
-    )
-    ok = workload.invariant_holds(final_state)
-    print(
-        f"== batch planner on {args.workload} "
-        f"({args.txns} txns, {args.workers} workers, "
-        f"batch {args.batch_size}"
-        f"{', deterministic' if args.deterministic else ''}) =="
-    )
-    print(metrics.report())
-    print(f"invariant     {'ok' if ok else 'VIOLATED'}")
-    return 0 if ok else 1
-
-
 def cmd_sat(args: argparse.Namespace) -> int:
     formula = _parse_cnf(args.formula)
     model = solve(formula)
@@ -389,6 +205,282 @@ def cmd_sat(args: argparse.Namespace) -> int:
     for var in sorted(formula.variables, key=repr):
         print(f"  {var} = {model[var]}")
     return 0
+
+
+# -- the unified execution entry point ------------------------------------
+
+#: which ``repro run`` workload flag maps to which scenario parameter,
+#: per scenario — flag/scenario mismatches are usage errors, never
+#: silent drops (the CLI rendering of the RunConfig contract).
+_SCENARIO_FLAG_PARAMS: dict[str, dict[str, str]] = {
+    "entities": {"bank": "n_accounts", "inventory": "n_warehouses"},
+    "accounts_per_shard": {
+        "sharded-bank": "accounts_per_shard",
+        "read-mostly": "accounts_per_shard",
+    },
+    "hot_fraction": {
+        "bank": "hot_fraction",
+        "sharded-bank": "hot_fraction",
+        "read-mostly": "hot_fraction",
+    },
+    "cross_fraction": {"sharded-bank": "cross_fraction"},
+    "read_fraction": {"read-mostly": "read_fraction"},
+    "audit_every": {"bank": "audit_every", "sharded-bank": "audit_every"},
+}
+
+#: scenarios whose account layout is bucketed per shard; their shard
+#: count follows the worker count, as the old runtime/planner CLIs did.
+_SHARDED_SCENARIOS = frozenset({"sharded-bank", "read-mostly"})
+
+
+def _execute_run(
+    *,
+    mode: str,
+    scenario: str,
+    txns: int,
+    seed: int,
+    gc: bool,
+    config_options: dict,
+    scenario_params: dict,
+    json_out: bool = False,
+    json_buffer: list | None = None,
+) -> int:
+    """Build the RunConfig, run the scenario, print, exit-code.
+
+    With ``json_buffer``, the report dict is appended there instead of
+    printed — the multi-run aliases aggregate one JSON document.
+    """
+    config = RunConfig(
+        mode=mode,
+        seed=seed,
+        gc=gc,
+        **{k: v for k, v in config_options.items() if v is not None},
+    )
+    params = dict(scenario_params)
+    if scenario in _SHARDED_SCENARIOS:
+        params.setdefault("n_shards", config.workers)
+    report = Database().run(scenario, config, txns=txns, **params)
+    if json_buffer is not None:
+        json_buffer.append(report.as_dict())
+    elif json_out:
+        print(json.dumps(report.as_dict()))
+    else:
+        print(report.report())
+    return 0 if report.invariant_ok else 1
+
+
+def _translate_scenario_flags(args: argparse.Namespace) -> dict:
+    """Map the ``repro run`` workload flags onto scenario parameters,
+    rejecting flags the chosen scenario has no use for."""
+    params: dict = {}
+    for flag, per_scenario in _SCENARIO_FLAG_PARAMS.items():
+        value = getattr(args, flag)
+        if value is None:
+            continue
+        if args.scenario not in per_scenario:
+            raise ValueError(
+                f"--{flag.replace('_', '-')} does not apply to scenario "
+                f"{args.scenario!r} (applies to: "
+                f"{sorted(per_scenario)})"
+            )
+        params[per_scenario[args.scenario]] = value
+    return params
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    if args.list_modes:
+        for name in Database.backends():
+            print(f"  {name:>10}: {get_backend(name).description}")
+        return 0
+    if args.list_scenarios:
+        for name in Database.scenarios():
+            print(f"  {name:>14}: {scenario_spec(name).description}")
+        return 0
+    return _execute_run(
+        mode=args.mode,
+        scenario=args.scenario,
+        txns=args.txns,
+        seed=args.seed,
+        gc=not args.no_gc,
+        config_options={
+            "scheduler": args.scheduler,
+            "workers": args.workers,
+            "batch_size": args.batch_size,
+            "deterministic": args.deterministic,
+            "retry": args.max_retries,
+            "gc_every": args.gc_every,
+            "epoch_max_steps": args.epoch_steps,
+        },
+        scenario_params=_translate_scenario_flags(args),
+        json_out=args.json,
+    )
+
+
+# -- deprecated aliases (delegate to the Database API) ---------------------
+
+
+def _deprecation_notice(old: str, replacement: str) -> None:
+    print(
+        f"note: 'repro {old}' is deprecated; use 'repro {replacement}'",
+        file=sys.stderr,
+    )
+
+
+def cmd_engine(args: argparse.Namespace) -> int:
+    _deprecation_notice(
+        "engine", f"run --mode serial --scenario {args.workload}"
+    )
+    if args.workload == "bank":
+        scenario_params = {
+            "n_accounts": args.entities,
+            "hot_fraction": args.hot_fraction,
+            "audit_every": args.audit_every,
+        }
+    else:
+        scenario_params = {"n_warehouses": args.entities}
+    names = (
+        sorted(SCHEDULER_FACTORIES)
+        if args.scheduler == "all"
+        else [args.scheduler]
+    )
+    # With --json the multi-scheduler loop aggregates one JSON array
+    # so stdout is always a single parseable document.
+    json_buffer: list | None = (
+        [] if args.json and len(names) > 1 else None
+    )
+    worst = 0
+    for name in names:
+        worst = max(worst, _execute_run(
+            mode="serial",
+            scenario=args.workload,
+            txns=args.txns,
+            seed=args.seed,
+            gc=not args.no_gc,
+            config_options={
+                "scheduler": name,
+                "workers": args.sessions,
+                "retry": args.max_retries,
+                "gc_every": args.gc_every,
+                "epoch_max_steps": args.epoch_steps,
+            },
+            scenario_params=scenario_params,
+            json_out=args.json,
+            json_buffer=json_buffer,
+        ))
+        if not args.json and len(names) > 1:
+            print()
+    if json_buffer is not None:
+        print(json.dumps(json_buffer))
+    return worst
+
+
+def cmd_runtime(args: argparse.Namespace) -> int:
+    scenario = "sharded-bank" if args.workload == "bank" else "inventory"
+    _deprecation_notice(
+        "runtime", f"run --mode parallel --scenario {scenario}"
+    )
+    if scenario == "sharded-bank":
+        scenario_params = {
+            "n_shards": args.workers,
+            "accounts_per_shard": args.accounts_per_shard,
+            "cross_fraction": args.cross_fraction,
+            "hot_fraction": args.hot_fraction,
+            "audit_every": args.audit_every,
+        }
+    else:
+        scenario_params = {"n_warehouses": args.entities}
+    return _execute_run(
+        mode="parallel",
+        scenario=scenario,
+        txns=args.txns,
+        seed=args.seed,
+        gc=not args.no_gc,
+        config_options={
+            "scheduler": args.scheduler,
+            "workers": args.workers,
+            "batch_size": args.batch_size,
+            "deterministic": args.deterministic,
+            "retry": args.max_retries,
+            "gc_every": args.gc_every,
+            "epoch_max_steps": args.epoch_steps,
+        },
+        scenario_params=scenario_params,
+        json_out=args.json,
+    )
+
+
+def cmd_planner(args: argparse.Namespace) -> int:
+    scenario = "sharded-bank" if args.workload == "bank" else "read-mostly"
+    _deprecation_notice(
+        "planner", f"run --mode planner --scenario {scenario}"
+    )
+    scenario_params = {
+        "n_shards": args.workers,
+        "accounts_per_shard": args.accounts_per_shard,
+        "hot_fraction": args.hot_fraction,
+    }
+    if scenario == "sharded-bank":
+        scenario_params["cross_fraction"] = args.cross_fraction
+        scenario_params["audit_every"] = args.audit_every
+    else:
+        scenario_params["read_fraction"] = args.read_fraction
+    return _execute_run(
+        mode="planner",
+        scenario=scenario,
+        txns=args.txns,
+        seed=args.seed,
+        gc=not args.no_gc,
+        config_options={
+            "workers": args.workers,
+            "batch_size": args.batch_size,
+            "deterministic": args.deterministic,
+        },
+        scenario_params=scenario_params,
+        json_out=args.json,
+    )
+
+
+def _add_execution_args(
+    p: argparse.ArgumentParser,
+    *,
+    txns_default: int,
+    parallel: bool = False,
+    retries: bool = True,
+    epoch_steps_default: int | None = 256,
+    gc_every: bool = True,
+    batch_size_default: int = 8,
+    batch_size_help: str = "group-commit batch size",
+) -> None:
+    """The stream-execution arguments the deprecated aliases share.
+
+    One definition for ``engine`` / ``runtime`` / ``planner`` so the
+    three subcommands cannot drift: the same names, the same defaults
+    where they overlap, and the same parse-time validation (positive
+    counts, fractions in [0, 1]) everywhere.  ``parallel`` adds the
+    worker/batch/deterministic trio the runtime and planner share;
+    the flags a mode has no use for are simply not added — the parser
+    surface mirrors the RunConfig applicability contract.
+    """
+    p.add_argument("--txns", type=_positive_int, default=txns_default)
+    p.add_argument("--seed", type=int, default=0)
+    if parallel:
+        p.add_argument("--workers", type=_positive_int, default=4)
+        p.add_argument("--batch-size", type=_positive_int,
+                       default=batch_size_default, help=batch_size_help)
+        p.add_argument("--deterministic", action="store_true",
+                       default=None,
+                       help="single-threaded reproducible mode")
+    if retries:
+        p.add_argument("--max-retries", type=_positive_int, default=8)
+    p.add_argument("--no-gc", action="store_true")
+    if gc_every:
+        p.add_argument("--gc-every", type=_nonnegative_int, default=32,
+                       help="collect every N commits")
+    if epoch_steps_default is not None:
+        p.add_argument("--epoch-steps", type=_positive_int,
+                       default=epoch_steps_default)
+    p.add_argument("--json", action="store_true",
+                   help="print the RunReport dict as JSON")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -438,8 +530,58 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_sat)
 
     p = sub.add_parser(
+        "run",
+        help="run a workload scenario under any execution mode "
+             "(the Database API)",
+    )
+    p.add_argument(
+        "--mode", choices=Database.backends(), default="serial",
+        help="execution backend (see --list-modes)",
+    )
+    p.add_argument(
+        "--scenario", choices=scenario_names(), default="bank",
+        help="workload scenario (see --list-scenarios)",
+    )
+    p.add_argument("--list-modes", action="store_true",
+                   help="list registered execution modes and exit")
+    p.add_argument("--list-scenarios", action="store_true",
+                   help="list registered scenarios and exit")
+    p.add_argument("--txns", type=_positive_int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    # Mode options: None means "not given"; RunConfig resolves the
+    # backend's default, and rejects flags the mode cannot honor.
+    p.add_argument(
+        "--scheduler", choices=sorted(SCHEDULER_FACTORIES), default=None,
+        help="scheduler for the online modes (default: mvto)",
+    )
+    p.add_argument("--workers", type=_positive_int, default=None)
+    p.add_argument("--batch-size", type=_positive_int, default=None)
+    p.add_argument("--deterministic", action="store_true", default=None,
+                   help="single-threaded reproducible mode")
+    p.add_argument("--max-retries", type=_positive_int, default=None)
+    p.add_argument("--no-gc", action="store_true")
+    p.add_argument("--gc-every", type=_nonnegative_int, default=None,
+                   help="collect every N commits (online modes)")
+    p.add_argument("--epoch-steps", type=_positive_int, default=None,
+                   dest="epoch_steps")
+    # Scenario options (validated against the chosen scenario).
+    p.add_argument("--entities", type=_positive_int, default=None,
+                   help="bank accounts / inventory warehouses")
+    p.add_argument("--accounts-per-shard", type=_positive_int, default=None)
+    p.add_argument("--hot-fraction", type=_fraction, default=None)
+    p.add_argument("--cross-fraction", type=_fraction, default=None,
+                   help="sharded-bank: cross-shard transfer fraction")
+    p.add_argument("--read-fraction", type=_fraction, default=None,
+                   help="read-mostly: read-only transaction fraction")
+    p.add_argument("--audit-every", type=_nonnegative_int, default=None,
+                   help="every k-th transaction is a read-only audit")
+    p.add_argument("--json", action="store_true",
+                   help="print the RunReport dict as JSON")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
         "engine",
-        help="run a transaction stream through the online engine",
+        help="[deprecated] alias for: run --mode serial",
     )
     p.add_argument("--workload", choices=["bank", "inventory"], default="bank")
     p.add_argument(
@@ -454,12 +596,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hot-fraction", type=_fraction, default=0.5)
     p.add_argument("--audit-every", type=_nonnegative_int, default=0,
                    help="bank only: every k-th transaction is an audit")
-    p.add_argument("--shards", type=_positive_int, default=8)
     p.set_defaults(func=cmd_engine)
 
     p = sub.add_parser(
         "runtime",
-        help="run a stream through the parallel shard runtime",
+        help="[deprecated] alias for: run --mode parallel",
     )
     p.add_argument("--workload", choices=["bank", "inventory"], default="bank")
     p.add_argument(
@@ -470,8 +611,6 @@ def build_parser() -> argparse.ArgumentParser:
     _add_execution_args(
         p, txns_default=400, parallel=True, epoch_steps_default=128
     )
-    p.add_argument("--inflight", type=_positive_int, default=16,
-                   help="transactions in flight at once")
     p.add_argument("--accounts-per-shard", type=_positive_int, default=4)
     p.add_argument("--entities", type=_positive_int, default=8,
                    help="inventory only: warehouses")
@@ -481,14 +620,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bank only: hot-shard transfer fraction")
     p.add_argument("--audit-every", type=_nonnegative_int, default=0,
                    help="bank only: every k-th transaction is an audit")
-    p.add_argument("--cross-stride", type=_nonnegative_int, default=0,
-                   help="coordinator transitions per round "
-                        "(0 = run each cross-shard txn to completion)")
     p.set_defaults(func=cmd_runtime)
 
     p = sub.add_parser(
         "planner",
-        help="run a stream through the abort-free batch planner",
+        help="[deprecated] alias for: run --mode planner",
     )
     p.add_argument(
         "--workload", choices=["bank", "readmostly"], default="bank"

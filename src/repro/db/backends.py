@@ -1,0 +1,343 @@
+"""Execution backends: the protocol and the three built-in adapters.
+
+An :class:`ExecutionBackend` is what a concurrency-control execution
+model must implement to plug into :class:`repro.db.Database`:
+
+* ``name`` / ``description`` — registry identity, shown by
+  ``repro run --list-modes``;
+* ``applicable`` / ``defaults`` — the :class:`~repro.db.RunConfig`
+  option contract: which mode options the backend honors and what an
+  unset applicable option resolves to (``RunConfig`` validates against
+  these at construction, so no option is ever silently dropped);
+* ``validate(config)`` — extra mode-specific constraints beyond
+  applicability;
+* ``run(stream, initial, config, ...)`` — execute and return a
+  :class:`~repro.db.RunReport`.
+
+The three built-in adapters wrap the PR 1–3 subsystems (serial engine,
+shard runtime, batch planner) and absorb the constructor wiring that
+used to live in ``repro.runtime.modes``.  Engine/runtime/planner
+imports stay inside ``_execute`` so the registry is cycle-free (the
+planner itself reuses :mod:`repro.runtime.group_commit`).
+
+Extending: subclass :class:`BackendAdapter`, implement ``_execute`` and
+``_core``, and :func:`register_backend` an instance — ``Database``,
+``RunConfig`` validation, ``repro run --mode`` and the cross-mode
+metric-contract test all pick the new mode up from the registry.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Mapping, Protocol, runtime_checkable
+
+from repro.db.report import RunReport
+from repro.engine.retry import RetryPolicy
+
+#: shared default for the retrying modes (RetryPolicy is frozen).
+_DEFAULT_RETRY = RetryPolicy()
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.config import RunConfig
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """What an execution mode must expose to plug into the Database."""
+
+    name: str
+    description: str
+    applicable: frozenset[str]
+    defaults: Mapping[str, Any]
+
+    def validate(self, config: "RunConfig") -> None:
+        """Raise ``ValueError`` for mode-specific constraint violations."""
+
+    def run(
+        self,
+        stream,
+        initial,
+        config: "RunConfig",
+        *,
+        scenario: str = "<stream>",
+        invariant=None,
+    ) -> RunReport:
+        """Drain ``stream`` against ``initial`` state; report."""
+
+
+class BackendAdapter:
+    """Shared :class:`RunReport` assembly for the built-in adapters.
+
+    Subclasses implement ``_execute`` (run, return ``(native_metrics,
+    final_state)``) and ``_core`` (map native counters onto the
+    guaranteed schema); this base turns both into the uniform ``run``.
+    """
+
+    name: str = ""
+    description: str = ""
+    applicable: frozenset[str] = frozenset()
+    defaults: Mapping[str, Any] = {}
+
+    def validate(self, config: "RunConfig") -> None:
+        return None
+
+    def _execute(self, stream, initial, config: "RunConfig"):
+        """Return ``(metrics, final_state)`` or ``(metrics,
+        final_state, notes)`` — backends are registry singletons, so
+        per-run data must travel in the return value, never on
+        ``self``."""
+        raise NotImplementedError
+
+    def _core(self, metrics) -> dict[str, int]:
+        raise NotImplementedError
+
+    def run(
+        self,
+        stream,
+        initial,
+        config: "RunConfig",
+        *,
+        scenario: str = "<stream>",
+        invariant=None,
+    ) -> RunReport:
+        if config.mode != self.name:
+            raise ValueError(
+                f"config is for mode {config.mode!r}, "
+                f"backend is {self.name!r}"
+            )
+        metrics, final_state, *rest = self._execute(
+            stream, initial, config
+        )
+        notes = rest[0] if rest else ()
+        return RunReport(
+            mode=self.name,
+            scenario=scenario,
+            config=config,
+            deterministic=bool(config.deterministic),
+            elapsed=metrics.elapsed,
+            latency=metrics.latency,
+            invariant_ok=(
+                bool(invariant(final_state)) if invariant else True
+            ),
+            invariant_checked=invariant is not None,
+            mode_specific=metrics.as_dict(),
+            notes=notes,
+            metrics=metrics,
+            final_state=final_state,
+            **self._core(metrics),
+        )
+
+
+class SerialEngineBackend(BackendAdapter):
+    """PR 1's online engine under the concurrent driver.
+
+    ``workers`` maps to driver sessions.  The driver is single-threaded
+    and seeded, so every serial run is deterministic —
+    ``deterministic`` defaults to True and False is a contradiction,
+    not a silent drop.  ``batch_size`` cannot apply (no group commit).
+    """
+
+    name = "serial"
+    description = (
+        "online engine: abort/retry with backoff over one conflict "
+        "domain (inherently deterministic)"
+    )
+    applicable = frozenset({
+        "scheduler", "workers", "deterministic", "retry",
+        "gc_every", "epoch_max_steps",
+    })
+    defaults = {
+        "scheduler": "mvto",
+        "workers": 4,
+        "deterministic": True,
+        "retry": _DEFAULT_RETRY,
+        "gc_every": 32,
+        "epoch_max_steps": 256,
+    }
+
+    def validate(self, config: "RunConfig") -> None:
+        if config.deterministic is False:
+            raise ValueError(
+                "mode 'serial' is single-threaded and seeded — every "
+                "run is deterministic; deterministic=False cannot be "
+                "honored (omit it or pass True)"
+            )
+
+    def _execute(self, stream, initial, config: "RunConfig"):
+        from repro.engine import (
+            ConcurrentDriver,
+            OnlineEngine,
+            scheduler_factory,
+        )
+
+        engine = OnlineEngine(
+            scheduler_factory(config.scheduler),
+            initial=initial,
+            n_shards=max(config.workers, 1),
+            gc_enabled=config.gc,
+            gc_every_commits=config.gc_every,
+            epoch_max_steps=config.epoch_max_steps,
+        )
+        driver = ConcurrentDriver(
+            engine,
+            stream,
+            n_sessions=config.workers,
+            retry=config.retry,
+            seed=config.seed,
+        )
+        return driver.run(), engine.store.final_state()
+
+    def _core(self, metrics) -> dict[str, int]:
+        # Every engine abort is a concurrency-control abort (rejected
+        # step, deadlock break, cascade, external request).
+        return {
+            "submitted": metrics.committed + metrics.gave_up,
+            "committed": metrics.committed,
+            "aborted": metrics.aborted_total,
+            "gave_up": metrics.gave_up,
+            "cc_aborts": metrics.aborted_total,
+        }
+
+
+class ShardRuntimeBackend(BackendAdapter):
+    """PR 2's parallel shard runtime: per-shard workers, cross-shard
+    2PC, epoch-batched group commit.  Honors every mode option."""
+
+    name = "parallel"
+    description = (
+        "shard runtime: per-shard workers, cross-shard 2PC, "
+        "epoch-batched group commit"
+    )
+    applicable = frozenset({
+        "scheduler", "workers", "batch_size", "deterministic",
+        "retry", "gc_every", "epoch_max_steps",
+    })
+    defaults = {
+        "scheduler": "mvto",
+        "workers": 4,
+        "batch_size": 8,
+        "deterministic": False,
+        "retry": _DEFAULT_RETRY,
+        "gc_every": 32,
+        "epoch_max_steps": 128,
+    }
+
+    def _execute(self, stream, initial, config: "RunConfig"):
+        from repro.runtime.dispatch import ShardRuntime
+
+        runtime = ShardRuntime(
+            config.scheduler,
+            initial=initial,
+            n_workers=config.workers,
+            batch_size=config.batch_size,
+            # E16's measured operating point; not a RunConfig knob —
+            # it tunes dispatcher admission, not the execution model.
+            inflight=16,
+            deterministic=config.deterministic,
+            retry=config.retry,
+            seed=config.seed,
+            gc_enabled=config.gc,
+            gc_every_commits=config.gc_every,
+            epoch_max_steps=config.epoch_max_steps,
+        )
+        metrics = runtime.run(stream)
+        return metrics, runtime.final_state(), (runtime.plan.note,)
+
+    def _core(self, metrics) -> dict[str, int]:
+        # Runtime aborts are attempt-level CC events: rejected steps,
+        # cross-shard vote-no and flush aborts.
+        return {
+            "submitted": metrics.submitted,
+            "committed": metrics.committed,
+            "aborted": metrics.aborted,
+            "gave_up": metrics.gave_up,
+            "cc_aborts": metrics.aborted,
+        }
+
+
+class BatchPlannerBackend(BackendAdapter):
+    """PR 3's abort-free batch planner (plan-then-execute).
+
+    ``scheduler``/``retry``/``epoch_max_steps``/``gc_every`` cannot
+    apply: the plan needs no run-time scheduler, nothing retries
+    (nothing CC-aborts), the batch *is* the epoch, and GC runs at every
+    batch settle.
+    """
+
+    name = "planner"
+    description = (
+        "abort-free batch planner: plan-then-execute with placeholder "
+        "versions, zero CC aborts by construction"
+    )
+    applicable = frozenset({
+        "workers", "batch_size", "deterministic",
+    })
+    defaults = {
+        "workers": 4,
+        "batch_size": 64,
+        "deterministic": False,
+    }
+
+    def _execute(self, stream, initial, config: "RunConfig"):
+        from repro.planner.driver import BatchPlanner
+
+        planner = BatchPlanner(
+            initial=initial,
+            n_workers=config.workers,
+            batch_size=config.batch_size,
+            deterministic=config.deterministic,
+            gc_enabled=config.gc,
+            seed=config.seed,
+        )
+        return planner.run(stream), planner.final_state()
+
+    def _core(self, metrics) -> dict[str, int]:
+        # The only aborts left are logic aborts and their planned
+        # cascades; nothing retries, so nothing can give up.
+        return {
+            "submitted": metrics.submitted,
+            "committed": metrics.committed,
+            "aborted": metrics.logic_aborted + metrics.cascade_aborted,
+            "gave_up": 0,
+            "cc_aborts": metrics.cc_aborts,
+        }
+
+
+_REGISTRY: dict[str, ExecutionBackend] = {}
+
+
+def register_backend(backend: ExecutionBackend, *, replace: bool = False):
+    """Register ``backend`` under ``backend.name``.
+
+    ``Database``, ``RunConfig`` validation and the CLI all resolve
+    modes through this registry, so registration is the whole plug-in
+    step for a new execution model.
+    """
+    if not backend.name:
+        raise ValueError("backend must have a non-empty name")
+    if backend.name in _REGISTRY and not replace:
+        raise ValueError(
+            f"backend {backend.name!r} already registered "
+            f"(pass replace=True to override)"
+        )
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> ExecutionBackend:
+    """The backend registered as ``name``; unknown names list choices."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown execution mode {name!r}; one of {sorted(_REGISTRY)}"
+        ) from None
+
+
+def backend_names() -> tuple[str, ...]:
+    """Registered mode names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+register_backend(SerialEngineBackend())
+register_backend(ShardRuntimeBackend())
+register_backend(BatchPlannerBackend())

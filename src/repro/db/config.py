@@ -1,0 +1,127 @@
+"""`RunConfig`: one typed, validated configuration for any backend.
+
+The pre-PR-4 run paths took ``**kwargs`` and silently ignored whatever
+did not apply (the serial runner dropped ``batch_size`` and
+``deterministic`` on the floor).  ``RunConfig`` inverts that: it is a
+frozen dataclass validated *at construction* against the target
+backend's declared option set — an option the mode cannot honor is a
+``ValueError`` naming the mode and the applicable options, and every
+applicable option left unset resolves to the backend's documented
+default, so a constructed config is always concrete and printable.
+
+Validation is registry-driven: each :class:`repro.db.backends`
+adapter declares ``applicable`` / ``defaults`` / ``validate``, so a
+future backend plugs its own option contract in without touching this
+module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any
+
+from repro.engine.retry import RetryPolicy
+
+#: the mode-specific option fields (everything except mode/seed/gc,
+#: which every backend honors).  Backends declare which of these apply.
+MODE_OPTIONS: tuple[str, ...] = (
+    "scheduler",
+    "workers",
+    "batch_size",
+    "deterministic",
+    "retry",
+    "gc_every",
+    "epoch_max_steps",
+)
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """How to run a workload: execution mode plus its tuning knobs.
+
+    ``None`` means "not set": applicable options resolve to the
+    backend's default during construction; inapplicable options raise.
+    A constructed ``RunConfig`` therefore never carries a silently
+    ignored knob.
+    """
+
+    #: execution backend, by registry name (``Database.backends()``).
+    mode: str = "serial"
+    #: scheduler the online modes wrap (planner plans, needs none).
+    scheduler: str | None = None
+    #: parallelism: driver sessions (serial) / shard workers (parallel)
+    #: / plan partitions + execution threads (planner).
+    workers: int | None = None
+    #: group-commit batch (parallel) / planning batch = epoch (planner).
+    batch_size: int | None = None
+    #: reproducible inline execution; serial is inherently deterministic.
+    deterministic: bool | None = None
+    seed: int = 0
+    #: abort/retry policy; an ``int`` is shorthand for ``max_attempts``.
+    retry: RetryPolicy | int | None = None
+    #: version garbage collection (honored by every backend).
+    gc: bool = True
+    #: collect every N commits (online modes; the planner settles —
+    #: and collects — at every batch, so the knob cannot apply).
+    gc_every: int | None = None
+    #: epoch length of the online modes (the planner's batch *is* its
+    #: epoch, so the knob cannot apply).
+    epoch_max_steps: int | None = None
+
+    def __post_init__(self) -> None:
+        from repro.db.backends import get_backend
+
+        backend = get_backend(self.mode)  # unknown mode raises here
+        for name in MODE_OPTIONS:
+            if getattr(self, name) is None:
+                continue
+            if name not in backend.applicable:
+                raise ValueError(
+                    f"option {name!r} does not apply to mode "
+                    f"{self.mode!r}; applicable options: "
+                    f"{sorted(backend.applicable)}"
+                )
+        for name, value in backend.defaults.items():
+            if getattr(self, name) is None:
+                object.__setattr__(self, name, value)
+        if isinstance(self.retry, int) and not isinstance(self.retry, bool):
+            object.__setattr__(
+                self, "retry", RetryPolicy(max_attempts=self.retry)
+            )
+        self._check_ranges()
+        backend.validate(self)
+
+    def _check_ranges(self) -> None:
+        for name in ("workers", "batch_size", "epoch_max_steps"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
+        if self.gc_every is not None and self.gc_every < 0:
+            raise ValueError(f"gc_every must be >= 0, got {self.gc_every}")
+        if self.retry is not None:
+            if not isinstance(self.retry, RetryPolicy):
+                raise ValueError(
+                    f"retry must be a RetryPolicy or an int "
+                    f"(max attempts), got {self.retry!r}"
+                )
+            if self.retry.max_attempts < 1:
+                raise ValueError("retry.max_attempts must be >= 1")
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serializable echo of the resolved configuration.
+
+        Field order is the dataclass declaration order — stable, so
+        deterministic reports serialize byte-identically.
+        """
+        out: dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, RetryPolicy):
+                value = {
+                    "max_attempts": value.max_attempts,
+                    "backoff_base": value.backoff_base,
+                    "backoff_cap": value.backoff_cap,
+                    "jitter": value.jitter,
+                }
+            out[f.name] = value
+        return out

@@ -1,134 +1,42 @@
-"""Execution-mode registry: serial engine, parallel runtime, batch planner.
+"""Execution-mode registry — now a shim over :mod:`repro.db`.
 
-One entry point for "run this stream, somehow" so benchmarks and the CLI
-can compare the three execution models over the identical stream without
-re-wiring each one's constructor:
+PR 4 moved the mode registry and the per-mode constructor wiring into
+the typed Database API: backends live in :mod:`repro.db.backends`,
+options are validated by :class:`repro.db.RunConfig`, and results are
+:class:`repro.db.RunReport` objects.  This module keeps the historical
+``run_stream(mode, stream, initial, **options)`` surface for existing
+callers, delegating to the registry — with the new validation, so an
+option a mode cannot honor is now a ``ValueError`` instead of being
+silently dropped (the old ``_run_serial`` ignored ``batch_size`` and
+``deterministic``).  One behavioral consolidation rides along: the
+``parallel`` path now admits ``inflight=16`` transactions (E16's
+measured operating point, previously only the benchmark's setting)
+where the old ``_run_parallel`` used the ShardRuntime default of 8.
 
-* ``serial`` — the PR 1 online engine under the concurrent driver: one
-  conflict domain, abort/retry with backoff, epoch logs and replays.
-* ``parallel`` — the PR 2 shard runtime: per-shard workers, cross-shard
-  2PC, epoch-batched group commit.
-* ``planner`` — the batch planner: plan-then-execute, abort-free.
-
-Every runner returns its native metrics object; all three expose
-``committed``, ``throughput``, ``latency`` and ``as_dict()``, which is
-the surface the E-benchmarks compare on.  Imports happen inside the
-runners so the registry stays cycle-free (the planner itself reuses
-:mod:`repro.runtime.group_commit`).
+New code should use :class:`repro.db.Database` directly.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Mapping
+from typing import Callable, Iterator
 
 
-def _run_serial(
-    stream,
-    initial,
-    *,
-    scheduler: str = "mvto",
-    workers: int = 4,
-    batch_size: int = 8,
-    deterministic: bool = False,
-    seed: int = 0,
-    retry=None,
-    gc_enabled: bool = True,
-    epoch_max_steps: int = 256,
-):
-    """Serial engine; ``workers`` maps to driver sessions, ``batch_size``
-    and ``deterministic`` do not apply (the driver is already seeded and
-    single-threaded)."""
-    from repro.engine import (
-        ConcurrentDriver,
-        OnlineEngine,
-        RetryPolicy,
-        scheduler_factory,
-    )
-
-    engine = OnlineEngine(
-        scheduler_factory(scheduler),
-        initial=initial,
-        n_shards=max(workers, 1),
-        gc_enabled=gc_enabled,
-        epoch_max_steps=epoch_max_steps,
-    )
-    driver = ConcurrentDriver(
-        engine,
-        stream,
-        n_sessions=workers,
-        retry=retry if retry is not None else RetryPolicy(),
-        seed=seed,
-    )
-    metrics = driver.run()
-    return metrics, engine.store.final_state()
+#: old-kwarg → RunConfig-field spelling.
+_OPTION_SPELLING = {"gc_enabled": "gc"}
 
 
-def _run_parallel(
-    stream,
-    initial,
-    *,
-    scheduler: str = "mvto",
-    workers: int = 4,
-    batch_size: int = 8,
-    deterministic: bool = False,
-    seed: int = 0,
-    retry=None,
-    gc_enabled: bool = True,
-    epoch_max_steps: int = 128,
-):
-    from repro.engine import RetryPolicy
-    from repro.runtime.dispatch import ShardRuntime
+def _run_via_backend(mode: str, stream, initial, **options):
+    from repro.db.backends import get_backend
+    from repro.db.config import RunConfig
 
-    runtime = ShardRuntime(
-        scheduler,
-        initial=initial,
-        n_workers=workers,
-        batch_size=batch_size,
-        deterministic=deterministic,
-        retry=retry if retry is not None else RetryPolicy(),
-        seed=seed,
-        gc_enabled=gc_enabled,
-        epoch_max_steps=epoch_max_steps,
-    )
-    metrics = runtime.run(stream)
-    return metrics, runtime.final_state()
-
-
-def _run_planner(
-    stream,
-    initial,
-    *,
-    scheduler: str = "mvto",
-    workers: int = 4,
-    batch_size: int = 64,
-    deterministic: bool = False,
-    seed: int = 0,
-    retry=None,
-    gc_enabled: bool = True,
-    epoch_max_steps: int = 256,
-):
-    """Batch planner; ``scheduler``/``retry``/``epoch_max_steps`` do not
-    apply — the plan needs no run-time scheduler, nothing retries
-    (nothing CC-aborts), and the batch *is* the epoch."""
-    from repro.planner.driver import BatchPlanner
-
-    planner = BatchPlanner(
-        initial=initial,
-        n_workers=workers,
-        batch_size=batch_size,
-        deterministic=deterministic,
-        gc_enabled=gc_enabled,
-        seed=seed,
-    )
-    metrics = planner.run(stream)
-    return metrics, planner.final_state()
-
-
-EXECUTION_MODES: dict[str, Callable] = {
-    "serial": _run_serial,
-    "parallel": _run_parallel,
-    "planner": _run_planner,
-}
+    translated = {
+        _OPTION_SPELLING.get(key, key): value
+        for key, value in options.items()
+    }
+    config = RunConfig(mode=mode, **translated)
+    report = get_backend(mode).run(stream, initial, config)
+    return report.metrics, report.final_state
 
 
 def run_stream(mode: str, stream, initial, **options):
@@ -136,12 +44,40 @@ def run_stream(mode: str, stream, initial, **options):
 
     Returns ``(metrics, final_state)`` — the mode's native metrics
     object plus the final store state (for invariant checks).
+    Deprecated: prefer ``repro.db.Database.run``, which adds scenario
+    resolution, invariant checking and the uniform ``RunReport``.
     """
-    try:
-        runner = EXECUTION_MODES[mode]
-    except KeyError:
-        raise ValueError(
-            f"unknown execution mode {mode!r}; one of "
-            f"{sorted(EXECUTION_MODES)}"
-        ) from None
-    return runner(stream, initial, **options)
+    return _run_via_backend(mode, stream, initial, **options)
+
+
+def _runner(name: str) -> Callable:
+    def run(stream, initial, **options):
+        return _run_via_backend(name, stream, initial, **options)
+
+    run.__name__ = f"_run_{name}"
+    return run
+
+
+class _ExecutionModes(Mapping):
+    """A *live* name → runner view of the backend registry, so a
+    backend registered after import shows up here too."""
+
+    def _names(self) -> tuple[str, ...]:
+        from repro.db.backends import backend_names
+
+        return backend_names()
+
+    def __getitem__(self, name: str) -> Callable:
+        if name not in self._names():
+            raise KeyError(name)
+        return _runner(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names())
+
+    def __len__(self) -> int:
+        return len(self._names())
+
+
+#: name → runner view of the backend registry (kept for compatibility).
+EXECUTION_MODES: Mapping[str, Callable] = _ExecutionModes()

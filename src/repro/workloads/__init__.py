@@ -13,6 +13,13 @@ from repro.workloads.bank import (
     total_balance,
 )
 from repro.workloads.inventory import InventoryWorkload
+from repro.workloads.registry import (
+    SCENARIOS,
+    ScenarioSpec,
+    scenario_factory,
+    scenario_names,
+    scenario_spec,
+)
 from repro.workloads.streams import schedule_stream
 
 __all__ = [
@@ -22,4 +29,9 @@ __all__ = [
     "total_balance",
     "InventoryWorkload",
     "schedule_stream",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "scenario_factory",
+    "scenario_names",
+    "scenario_spec",
 ]

@@ -4,9 +4,10 @@ import json
 
 import pytest
 
+from repro.db import Database, RunConfig
 from repro.engine.errors import EngineError
 from repro.planner import BatchPlanner
-from repro.runtime.modes import EXECUTION_MODES, run_stream
+from repro.runtime.modes import EXECUTION_MODES
 from repro.workloads.bank import transfer_program, transfer_transaction
 from repro.workloads.streams import ReadMostlyScenario, ShardedBankScenario
 
@@ -123,37 +124,35 @@ class TestDriver:
 
 
 class TestModesRegistry:
+    """The legacy registry view stays in sync with the Database API,
+    and mode comparison runs through typed RunConfigs."""
+
     def test_registry_names(self):
         assert set(EXECUTION_MODES) == {"serial", "parallel", "planner"}
+        assert set(EXECUTION_MODES) == set(Database.backends())
 
     @pytest.mark.parametrize("mode", ["serial", "parallel", "planner"])
     def test_all_modes_run_the_same_stream(self, mode):
-        scenario = bank()
-        metrics, final_state = run_stream(
-            mode,
-            scenario.transaction_stream(60),
-            scenario.initial_state(),
-            workers=2,
-            deterministic=True,
-            seed=3,
+        report = Database().run(
+            bank(),
+            RunConfig(mode=mode, workers=2, deterministic=True, seed=3),
+            txns=60,
         )
-        assert scenario.invariant_holds(final_state)
-        assert metrics.committed > 0
-        assert isinstance(metrics.as_dict(), dict)
+        assert report.invariant_ok
+        assert report.committed > 0
+        assert isinstance(report.as_dict(), dict)
 
     def test_planner_mode_on_read_mostly(self):
         scenario = ReadMostlyScenario(n_shards=4, seed=2)
-        metrics, final_state = run_stream(
-            "planner",
-            scenario.transaction_stream(80),
-            scenario.initial_state(),
-            workers=4,
-            batch_size=32,
+        report = Database().run(
+            scenario,
+            RunConfig(mode="planner", workers=4, batch_size=32),
+            txns=80,
         )
-        assert metrics.committed == 80
-        assert metrics.cc_aborts == 0
-        assert scenario.invariant_holds(final_state)
+        assert report.committed == 80
+        assert report.cc_aborts == 0
+        assert report.invariant_ok
 
     def test_unknown_mode(self):
         with pytest.raises(ValueError):
-            run_stream("quantum", [], {})
+            RunConfig(mode="quantum")

@@ -1,5 +1,7 @@
 """The command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import _parse_cnf, main
@@ -94,7 +96,7 @@ class TestArgValidation:
         assert excinfo.value.code == 2
         assert "not a number" in capsys.readouterr().err
 
-    @pytest.mark.parametrize("flag", ["--shards", "--sessions", "--txns"])
+    @pytest.mark.parametrize("flag", ["--entities", "--sessions", "--txns"])
     def test_engine_counts_must_be_positive(self, flag, capsys):
         with pytest.raises(SystemExit) as excinfo:
             main(["engine", flag, "0"])
@@ -140,14 +142,70 @@ class TestArgValidation:
         assert "Traceback" not in err
 
 
-class TestRuntime:
-    def test_bank_run_reports_metrics(self, capsys):
+class TestRun:
+    """The unified execution entry point over the Database API."""
+
+    def test_list_modes(self, capsys):
+        assert main(["run", "--list-modes"]) == 0
+        out = capsys.readouterr().out
+        for mode in ("serial", "parallel", "planner"):
+            assert mode in out
+        assert "abort-free" in out  # registry descriptions shown
+
+    def test_list_scenarios(self, capsys):
+        assert main(["run", "--list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bank", "inventory", "sharded-bank", "read-mostly"):
+            assert name in out
+
+    def test_bad_mode_shows_choices(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--mode", "quantum"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        for mode in ("serial", "parallel", "planner"):
+            assert mode in err
+
+    def test_bad_scenario_shows_choices(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--scenario", "tpc-c"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        for name in ("bank", "inventory", "sharded-bank", "read-mostly"):
+            assert name in err
+
+    def test_inapplicable_mode_option_is_usage_error(self, capsys):
+        assert main(["run", "--mode", "serial", "--batch-size", "8"]) == 2
+        err = capsys.readouterr().err
+        assert "does not apply to mode 'serial'" in err
+        assert "applicable options" in err
+
+    def test_inapplicable_scenario_flag_is_usage_error(self, capsys):
         assert main([
-            "runtime", "--workers", "4", "--txns", "60",
-            "--deterministic", "--batch-size", "4",
+            "run", "--scenario", "bank", "--read-fraction", "0.5",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "does not apply to scenario 'bank'" in err
+        assert "read-mostly" in err
+
+    def test_serial_bank_run(self, capsys):
+        assert main([
+            "run", "--mode", "serial", "--scenario", "bank",
+            "--txns", "30", "--workers", "2",
         ]) == 0
         out = capsys.readouterr().out
-        assert "mvto on sharded bank" in out
+        assert "bank via serial backend" in out
+        assert "committed" in out and "aborted" in out
+        assert "invariant     ok" in out
+
+    def test_parallel_run_reports_metrics(self, capsys):
+        assert main([
+            "run", "--mode", "parallel", "--scenario", "sharded-bank",
+            "--workers", "4", "--txns", "60", "--deterministic",
+            "--batch-size", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sharded-bank via parallel backend" in out
         assert "4 conflict domains" in out
         assert "group commit" in out
         assert "latency" in out
@@ -155,17 +213,45 @@ class TestRuntime:
 
     def test_shared_lock_table_note(self, capsys):
         assert main([
-            "runtime", "--scheduler", "sgt", "--workers", "4",
+            "run", "--mode", "parallel", "--scenario", "sharded-bank",
+            "--scheduler", "sgt", "--workers", "4",
             "--txns", "40", "--deterministic",
         ]) == 0
         out = capsys.readouterr().out
         assert "shared lock table" in out
         assert "1 conflict domain" in out
 
+    def test_planner_run_reports_metrics(self, capsys):
+        assert main([
+            "run", "--mode", "planner", "--scenario", "read-mostly",
+            "--workers", "2", "--txns", "50", "--read-fraction", "0.8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "read-mostly via planner backend" in out
+        assert "cc aborts     0" in out
+        assert "abort-free by construction" in out
+        assert "invariant     ok" in out
+
+    @pytest.mark.parametrize("mode", ["serial", "parallel", "planner"])
+    def test_deterministic_json_is_byte_identical(self, mode, capsys):
+        argv = [
+            "run", "--mode", mode, "--scenario", "sharded-bank",
+            "--txns", "50", "--deterministic", "--seed", "9", "--json",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        report = json.loads(first)
+        assert report["mode"] == mode
+        assert report["invariant_ok"] is True
+
     def test_deterministic_output_is_byte_identical(self, capsys):
         argv = [
-            "runtime", "--workers", "4", "--txns", "50",
-            "--deterministic", "--seed", "9", "--cross-fraction", "0.4",
+            "run", "--mode", "parallel", "--scenario", "sharded-bank",
+            "--workers", "4", "--txns", "50", "--deterministic",
+            "--seed", "9", "--cross-fraction", "0.4",
         ]
         assert main(argv) == 0
         first = capsys.readouterr().out
@@ -175,53 +261,87 @@ class TestRuntime:
 
     def test_inventory_workload(self, capsys):
         assert main([
-            "runtime", "--workload", "inventory", "--scheduler", "si",
-            "--txns", "40", "--deterministic",
+            "run", "--mode", "parallel", "--scenario", "inventory",
+            "--scheduler", "si", "--txns", "40", "--deterministic",
         ]) == 0
         out = capsys.readouterr().out
         assert "invariant     ok" in out
 
 
-class TestEngine:
-    def test_bank_run_reports_metrics(self, capsys):
+class TestDeprecatedAliases:
+    """`engine` / `runtime` / `planner` delegate to the Database API:
+    one deprecation line on stderr, same RunReport as the equivalent
+    `repro run` invocation."""
+
+    @pytest.mark.parametrize(
+        "alias_argv, run_argv",
+        [
+            (
+                ["engine", "--txns", "30", "--sessions", "2",
+                 "--seed", "1"],
+                ["run", "--mode", "serial", "--scenario", "bank",
+                 "--txns", "30", "--workers", "2", "--seed", "1",
+                 "--entities", "8", "--hot-fraction", "0.5"],
+            ),
+            (
+                ["runtime", "--workers", "2", "--txns", "40",
+                 "--deterministic", "--batch-size", "4", "--seed", "2"],
+                ["run", "--mode", "parallel", "--scenario",
+                 "sharded-bank", "--workers", "2", "--txns", "40",
+                 "--deterministic", "--batch-size", "4", "--seed", "2",
+                 "--accounts-per-shard", "4", "--cross-fraction", "0.1",
+                 "--hot-fraction", "0.2"],
+            ),
+            (
+                ["planner", "--workload", "readmostly", "--workers", "2",
+                 "--txns", "40", "--deterministic"],
+                ["run", "--mode", "planner", "--scenario", "read-mostly",
+                 "--workers", "2", "--txns", "40", "--deterministic",
+                 "--accounts-per-shard", "4", "--hot-fraction", "0.2",
+                 "--read-fraction", "0.9"],
+            ),
+        ],
+        ids=["engine", "runtime", "planner"],
+    )
+    def test_alias_equals_run(self, alias_argv, run_argv, capsys):
+        assert main(alias_argv + ["--json"]) == 0
+        captured = capsys.readouterr()
+        assert "deprecated" in captured.err
+        assert captured.err.count("\n") == 1  # one-line notice
+        alias_report = json.loads(captured.out)
+        assert main(run_argv + ["--json"]) == 0
+        captured = capsys.readouterr()
+        assert "deprecated" not in captured.err
+        assert alias_report == json.loads(captured.out)
+
+    def test_engine_all_json_is_one_document(self, capsys):
         assert main([
-            "engine", "--workload", "bank", "--scheduler", "mvto",
-            "--txns", "30", "--sessions", "2",
+            "engine", "--workload", "inventory", "--scheduler", "all",
+            "--txns", "20", "--sessions", "2", "--json",
         ]) == 0
-        out = capsys.readouterr().out
-        assert "mvto on bank" in out
-        assert "committed" in out and "aborted" in out
-        assert "invariant     ok" in out
+        reports = json.loads(capsys.readouterr().out)
+        assert [r["config"]["scheduler"] for r in reports] == [
+            "2pl", "2v2pl", "mvto", "sgt", "si",
+        ]
 
-    def test_all_schedulers_and_gc_off(self, capsys):
+    def test_engine_all_runs_every_scheduler(self, capsys):
         assert main([
             "engine", "--workload", "inventory", "--scheduler", "all",
             "--txns", "20", "--sessions", "2", "--no-gc",
         ]) == 0
         out = capsys.readouterr().out
         for name in ["2pl", "2v2pl", "mvto", "sgt", "si"]:
-            assert f"== {name} on inventory" in out
+            assert f"txns, {name}," in out
+        assert out.count("via serial backend") == 5
 
-
-class TestPlanner:
-    def test_bank_run_reports_metrics(self, capsys):
+    def test_planner_alias_output_shape(self, capsys):
         assert main([
             "planner", "--workers", "4", "--txns", "60",
             "--deterministic", "--batch-size", "16",
         ]) == 0
         out = capsys.readouterr().out
-        assert "batch planner on bank" in out
+        assert "sharded-bank via planner backend" in out
         assert "cc aborts     0" in out
-        assert "abort-free by construction" in out
-        assert "invariant     ok" in out
-
-    def test_read_mostly_workload(self, capsys):
-        assert main([
-            "planner", "--workload", "readmostly", "--workers", "2",
-            "--txns", "50", "--read-fraction", "0.8",
-        ]) == 0
-        out = capsys.readouterr().out
-        assert "batch planner on readmostly" in out
         assert "invariant     ok" in out
 
     def test_deterministic_output_is_byte_identical(self, capsys):
