@@ -11,6 +11,7 @@
     python -m repro run --mode serial --scenario bank --txns 200
     python -m repro run --mode parallel --workers 4 --deterministic
     python -m repro run --mode planner --scenario read-mostly --seed 7
+    python -m repro run --mode pipelined --scenario read-mostly --lookahead 2
     python -m repro run --list-modes
     python -m repro run --list-scenarios
 
@@ -269,19 +270,41 @@ def _execute_run(
     return 0 if report.invariant_ok else 1
 
 
+def _scenario_flags(scenario: str) -> list[str]:
+    """The ``repro run`` workload flags the named scenario accepts."""
+    return sorted(
+        f"--{flag.replace('_', '-')}"
+        for flag, per_scenario in _SCENARIO_FLAG_PARAMS.items()
+        if scenario in per_scenario
+    )
+
+
 def _translate_scenario_flags(args: argparse.Namespace) -> dict:
     """Map the ``repro run`` workload flags onto scenario parameters,
-    rejecting flags the chosen scenario has no use for."""
+    rejecting flags the chosen scenario has no use for.
+
+    The rejection names both sides of the mismatch — the scenarios the
+    flag would apply to *and* the flags the chosen scenario accepts —
+    mirroring the ``RunConfig`` rule that a rejected option always lists
+    the applicable ones.
+    """
     params: dict = {}
     for flag, per_scenario in _SCENARIO_FLAG_PARAMS.items():
         value = getattr(args, flag)
         if value is None:
             continue
         if args.scenario not in per_scenario:
+            accepted = _scenario_flags(args.scenario)
+            accepts = (
+                f"accepts {', '.join(accepted)}"
+                if accepted
+                else "accepts no workload flags"
+            )
             raise ValueError(
                 f"--{flag.replace('_', '-')} does not apply to scenario "
-                f"{args.scenario!r} (applies to: "
-                f"{sorted(per_scenario)})"
+                f"{args.scenario!r} (applies to scenarios "
+                f"{sorted(per_scenario)}; scenario {args.scenario!r} "
+                f"{accepts})"
             )
         params[per_scenario[args.scenario]] = value
     return params
@@ -310,6 +333,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             "retry": args.max_retries,
             "gc_every": args.gc_every,
             "epoch_max_steps": args.epoch_steps,
+            "lookahead": args.lookahead,
         },
         scenario_params=_translate_scenario_flags(args),
         json_out=args.json,
@@ -564,6 +588,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="collect every N commits (online modes)")
     p.add_argument("--epoch-steps", type=_positive_int, default=None,
                    dest="epoch_steps")
+    p.add_argument("--lookahead", type=_positive_int, default=None,
+                   help="pipelined mode: batches planned ahead of the "
+                        "executing one (default 1)")
     # Scenario options (validated against the chosen scenario).
     p.add_argument("--entities", type=_positive_int, default=None,
                    help="bank accounts / inventory warehouses")

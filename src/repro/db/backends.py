@@ -14,16 +14,19 @@ model must implement to plug into :class:`repro.db.Database`:
 * ``run(stream, initial, config, ...)`` — execute and return a
   :class:`~repro.db.RunReport`.
 
-The three built-in adapters wrap the PR 1–3 subsystems (serial engine,
-shard runtime, batch planner) and absorb the constructor wiring that
-used to live in ``repro.runtime.modes``.  Engine/runtime/planner
-imports stay inside ``_execute`` so the registry is cycle-free (the
-planner itself reuses :mod:`repro.runtime.group_commit`).
+The four built-in adapters wrap the PR 1–3 subsystems (serial engine,
+shard runtime, batch planner) plus the PR 5 pipelined planner, and
+absorb the constructor wiring that used to live in
+``repro.runtime.modes``.  Engine/runtime/planner imports stay inside
+``_execute`` so the registry is cycle-free (the planner itself reuses
+:mod:`repro.runtime.group_commit`).
 
 Extending: subclass :class:`BackendAdapter`, implement ``_execute`` and
 ``_core``, and :func:`register_backend` an instance — ``Database``,
 ``RunConfig`` validation, ``repro run --mode`` and the cross-mode
 metric-contract test all pick the new mode up from the registry.
+``docs/backend-authors.md`` walks the full contract with
+:class:`PipelinedPlannerBackend` as the worked example.
 """
 
 from __future__ import annotations
@@ -302,6 +305,61 @@ class BatchPlannerBackend(BackendAdapter):
         }
 
 
+class PipelinedPlannerBackend(BackendAdapter):
+    """PR 5's pipelined planner: plan batch k+1 while batch k executes.
+
+    Same plan, same settle rule and the same zero-CC-abort guarantee as
+    ``planner`` — planning is just moved off the execution's critical
+    path (``lookahead`` batches deep).  Deterministic runs serialize
+    byte-identically to the sequential planner's for equal seeds.  The
+    registration below is the worked example ``docs/backend-authors.md``
+    documents end to end.
+    """
+
+    name = "pipelined"
+    description = (
+        "pipelined batch planner: plans batch k+1 while batch k "
+        "executes (lookahead-deep), zero CC aborts by construction"
+    )
+    applicable = frozenset({
+        "workers", "batch_size", "deterministic", "lookahead",
+    })
+    defaults = {
+        "workers": 4,
+        "batch_size": 64,
+        "deterministic": False,
+        "lookahead": 1,
+    }
+
+    def _execute(self, stream, initial, config: "RunConfig"):
+        from repro.planner.pipeline import PipelinedPlanner
+
+        pipeline = PipelinedPlanner(
+            initial=initial,
+            n_workers=config.workers,
+            batch_size=config.batch_size,
+            lookahead=config.lookahead,
+            deterministic=config.deterministic,
+            gc_enabled=config.gc,
+            seed=config.seed,
+        )
+        return pipeline.run(stream), pipeline.final_state()
+
+    def _core(self, metrics) -> dict[str, int]:
+        # Identical semantics mapping to the sequential planner: the
+        # only aborts are logic aborts and their planned cascades.
+        # Deliberately spelled out rather than inherited from
+        # BatchPlannerBackend — this class is docs/backend-authors.md's
+        # worked example and must read standalone; keep the two in sync.
+        return {
+            "submitted": metrics.submitted,
+            "committed": metrics.committed,
+            "aborted": metrics.logic_aborted + metrics.cascade_aborted,
+            "gave_up": 0,
+            "cc_aborts": metrics.cc_aborts,
+        }
+
+
 _REGISTRY: dict[str, ExecutionBackend] = {}
 
 
@@ -341,3 +399,4 @@ def backend_names() -> tuple[str, ...]:
 register_backend(SerialEngineBackend())
 register_backend(ShardRuntimeBackend())
 register_backend(BatchPlannerBackend())
+register_backend(PipelinedPlannerBackend())

@@ -32,6 +32,7 @@ MODE_OPTIONS: tuple[str, ...] = (
     "retry",
     "gc_every",
     "epoch_max_steps",
+    "lookahead",
 )
 
 
@@ -67,6 +68,9 @@ class RunConfig:
     #: epoch length of the online modes (the planner's batch *is* its
     #: epoch, so the knob cannot apply).
     epoch_max_steps: int | None = None
+    #: batches the pipelined planner may plan ahead of the executing one
+    #: (pipelined mode only; the other modes have no planning stage).
+    lookahead: int | None = None
 
     def __post_init__(self) -> None:
         from repro.db.backends import get_backend
@@ -92,7 +96,7 @@ class RunConfig:
         backend.validate(self)
 
     def _check_ranges(self) -> None:
-        for name in ("workers", "batch_size", "epoch_max_steps"):
+        for name in ("workers", "batch_size", "epoch_max_steps", "lookahead"):
             value = getattr(self, name)
             if value is not None and value < 1:
                 raise ValueError(f"{name} must be >= 1, got {value}")

@@ -11,9 +11,11 @@ Five lines is the whole story::
 ``run`` resolves the scenario (registry name or a ready instance), the
 execution backend (``config.mode``), drains one stream through it and
 returns the uniform :class:`~repro.db.RunReport` — invariant verdict
-included.  The three built-in modes (``serial`` / ``parallel`` /
-``planner``) and the four built-in scenarios are discoverable via
-:meth:`Database.backends` and :meth:`Database.scenarios`.
+included.  The four built-in modes (``serial`` / ``parallel`` /
+``planner`` / ``pipelined``) and the four built-in scenarios are
+discoverable via :meth:`Database.backends` and
+:meth:`Database.scenarios`; ``docs/execution-modes.md`` is the design
+reference for what each mode guarantees.
 """
 
 from __future__ import annotations

@@ -1,17 +1,20 @@
 """Abort-free epoch batch planner: plan-then-execute MVCC.
 
-The third execution mode, after the serial engine (:mod:`repro.engine`)
-and the parallel shard runtime (:mod:`repro.runtime`).  Following
-Faleiro & Abadi's batched multiversion design, each epoch's batch of
-transactions is *planned* before anything executes — a total timestamp
-order is fixed, every write reserves a placeholder version at its final
-chain position, and every read is bound to its exact source version —
-so the execution phase has zero concurrency-control aborts by
-construction: reads of unpublished slots wait (Larson-style commit
-dependencies) instead of aborting, and only program-raised *logic*
-aborts exist, cascading along the dependency edges the plan already
-knows.  See :mod:`repro.planner.planning`, :mod:`repro.planner.executor`
-and :mod:`repro.planner.driver` for the three phases.
+The third and fourth execution modes, after the serial engine
+(:mod:`repro.engine`) and the parallel shard runtime
+(:mod:`repro.runtime`).  Following Faleiro & Abadi's batched
+multiversion design, each epoch's batch of transactions is *planned*
+before anything executes — a total timestamp order is fixed, every
+write reserves a placeholder version at its final chain position, and
+every read is bound to its exact source version — so the execution
+phase has zero concurrency-control aborts by construction: reads of
+unpublished slots wait (Larson-style commit dependencies) instead of
+aborting, and only program-raised *logic* aborts exist, cascading along
+the dependency edges the plan already knows.  See
+:mod:`repro.planner.planning`, :mod:`repro.planner.executor` and
+:mod:`repro.planner.driver` for the three phases, and
+:mod:`repro.planner.pipeline` for the pipelined driver that plans batch
+*k+1* while batch *k* executes (the ``pipelined`` execution mode).
 """
 
 from repro.planner.driver import BatchPlanner
@@ -23,11 +26,13 @@ from repro.planner.executor import (
     PlanExecutor,
     verify_settled,
 )
-from repro.planner.metrics import PlannerMetrics
+from repro.planner.metrics import PipelineMetrics, PlannerMetrics
+from repro.planner.pipeline import PipelinedPlanner
 from repro.planner.planning import plan_batch
 
 __all__ = [
     "BatchPlanner",
+    "PipelinedPlanner",
     "CASCADE",
     "COMMITTED",
     "LOGIC_ABORT",
@@ -35,5 +40,6 @@ __all__ = [
     "PlanExecutor",
     "verify_settled",
     "PlannerMetrics",
+    "PipelineMetrics",
     "plan_batch",
 ]

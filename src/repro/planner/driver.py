@@ -24,6 +24,11 @@ into batches (one batch = one epoch), each batch is planned
 Ticks count admissions and settles, so commit latency (in ticks, via the
 engine's :class:`LatencyStats`) measures batching delay and is identical
 in deterministic and threaded mode.
+
+The stages here run strictly in sequence; the fourth execution mode
+(:class:`repro.planner.pipeline.PipelinedPlanner`) overlaps them — same
+plan, same settle rule, planning moved off the execution's critical
+path.
 """
 
 from __future__ import annotations

@@ -66,18 +66,26 @@ class PlanExecutor:
         store: ShardedMultiversionStore,
         n_workers: int = 4,
         deterministic: bool = False,
+        lock_fills: bool = False,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.store = store
         self.n_workers = n_workers
         self.deterministic = deterministic
+        #: take the shard lock around fills/poisons even on the inline
+        #: path — required when another thread (the pipelined planner's
+        #: lookahead stage) reserves slots on the same shards while this
+        #: executor publishes.
+        self.lock_fills = lock_fills
 
     def execute(self, plan: BatchPlan) -> ExecutionOutcome:
         outcome = ExecutionOutcome()
         if self.deterministic or self.n_workers == 1:
             for ptxn in plan:
-                fate, blocked, steps = self._run_one(ptxn, locked=False)
+                fate, blocked, steps = self._run_one(
+                    ptxn, locked=self.lock_fills
+                )
                 outcome.fates[ptxn.txn] = fate
                 outcome.blocked_reads += blocked
                 outcome.steps_executed += steps

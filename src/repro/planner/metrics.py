@@ -109,6 +109,9 @@ class PlannerMetrics:
 
     def report(self) -> str:
         """A human-readable block for the CLI."""
+        return "\n".join(self._report_lines())
+
+    def _report_lines(self) -> list[str]:
         engine = self.engine
         rate = (
             ""
@@ -138,4 +141,53 @@ class PlannerMetrics:
             f"in {engine.gc.collections} collections",
             f"ticks         {engine.ticks}",
         ]
+        return lines
+
+
+@dataclass
+class PipelineMetrics(PlannerMetrics):
+    """Planner metrics plus what the two-stage pipeline adds.
+
+    ``as_dict`` is deliberately **inherited unchanged**: it is the
+    planner determinism contract, and the pipelined mode's contract is
+    that a deterministic run serializes byte-identically to the
+    *sequential* planner's for equal seeds (the pipeline changes when
+    planning happens, never what is planned).  Everything pipeline-only
+    is therefore either wall-clock (excluded from the dict exactly like
+    ``elapsed``) or an attribute surfaced via :meth:`report` only.
+    """
+
+    #: batches planned ahead of the executing one (configuration).
+    lookahead: int = 1
+    #: read bindings whose source slot was removed by an earlier batch's
+    #: abort and re-bound to the newest surviving version (the seam the
+    #: pipeline must repair; the sequential planner never needs to).
+    rebound_reads: int = 0
+    #: base-read bindings that bound to a previous in-flight batch's
+    #: reserved slot at plan time (cross-batch seam traffic).
+    cross_batch_reads: int = 0
+    #: wall-clock: seconds spent planning, and the share of it hidden
+    #: under execution (threaded mode; 0.0 when deterministic).
+    plan_elapsed: float = 0.0
+    overlap_elapsed: float = 0.0
+    #: batches whose planning ran concurrently with an execution window.
+    batches_overlapped: int = 0
+
+    def report(self) -> str:
+        lines = self._report_lines()
+        lines[0] += f"  lookahead {self.lookahead}"
+        overlap = (
+            "deterministic (no overlap)"
+            if self.deterministic
+            else (
+                f"{self.overlap_elapsed:.3f}s of {self.plan_elapsed:.3f}s "
+                f"planning hidden under execution "
+                f"({self.batches_overlapped} batches overlapped)"
+            )
+        )
+        lines.append(f"pipeline      {overlap}")
+        lines.append(
+            f"seam          {self.cross_batch_reads} cross-batch reads, "
+            f"{self.rebound_reads} re-bound after aborts"
+        )
         return "\n".join(lines)

@@ -67,17 +67,35 @@ def plan_batch(
     first_timestamp: int,
     first_position: int,
     threaded: bool = False,
+    over_placeholders: bool = False,
+    entity_locked: bool = False,
 ) -> BatchPlan:
     """Plan one batch: reserve every write slot, bind every read.
 
     ``items`` arrive in timestamp order; ``first_position`` is the global
     install position of the batch's first write (positions stay monotonic
     across batches, which is what makes the per-batch GC watermark
-    identical to the engine's epoch watermark).  The store must carry no
-    placeholders — a previous batch that left any behind was never
-    settled, which is a driver bug, not a plannable state.
+    identical to the engine's epoch watermark).
+
+    By default the store must carry no placeholders — a previous batch
+    that left any behind was never settled, which is a driver bug, not a
+    plannable state.  ``over_placeholders=True`` lifts that precondition
+    for the pipelined planner (:mod:`repro.planner.pipeline`), which
+    deliberately plans batch *k+1* while batch *k*'s reserved slots are
+    still deciding: a base read then binds to the newest chain slot even
+    if it is another batch's pending placeholder — the planned final
+    chain position is fixed at reservation, so the binding is exact
+    either way, and the pipeline driver re-binds the few bindings whose
+    source is later removed by an abort.
+
+    ``entity_locked`` trades the default partition-scoped lock hold (one
+    acquire for a whole shard walk) for per-entity acquires of the same
+    shard lock, so a concurrently *executing* batch's fills on the same
+    shard interleave with the walk instead of stalling behind it.  Both
+    grains produce the identical plan — the walk of one entity depends on
+    nothing outside that entity.
     """
-    if store.placeholder_count():
+    if not over_placeholders and store.placeholder_count():
         raise EngineError("plan_batch over unsettled placeholders")
     drafts: list[_Draft] = []
     by_entity: dict[Entity, list[_Access]] = {}
@@ -105,9 +123,14 @@ def plan_batch(
     def walk_partition(p: int) -> None:
         # Partition p owns shard p outright, so the walk may mutate its
         # store slice without coordinating with the other walks.
-        with store.locks[p]:
+        if entity_locked:
             for entity in sorted(partitions[p]):
-                _walk_entity(entity, by_entity[entity], store, draft_of)
+                with store.locks[p]:
+                    _walk_entity(entity, by_entity[entity], store, draft_of)
+        else:
+            with store.locks[p]:
+                for entity in sorted(partitions[p]):
+                    _walk_entity(entity, by_entity[entity], store, draft_of)
 
     if threaded and n_partitions > 1:
         threads = [

@@ -13,6 +13,12 @@ silently dropped (the old ``_run_serial`` ignored ``batch_size`` and
 measured operating point, previously only the benchmark's setting)
 where the old ``_run_parallel`` used the ShardRuntime default of 8.
 
+Because :data:`EXECUTION_MODES` is a *live* view of the backend
+registry, modes registered after PR 4 — like PR 5's ``pipelined``
+planner — appear here with no shim changes:
+``run_stream("pipelined", stream, initial, lookahead=2)`` works the
+moment :mod:`repro.db.backends` registers the backend.
+
 New code should use :class:`repro.db.Database` directly.
 """
 

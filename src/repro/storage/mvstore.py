@@ -301,6 +301,23 @@ class MultiversionStore:
                 f"no version of {entity!r} at position {position}"
             ) from None
 
+    def latest_before(self, entity: Entity, position: int) -> Version:
+        """The newest version strictly below ``position`` in chain order.
+
+        The re-binding primitive of the pipelined planner: when a reserved
+        slot a later plan bound to is removed (its writer aborted), the
+        affected reads re-bind to the newest survivor below the plan's
+        first install position — the version the plan would have bound had
+        the aborted slot never been reserved.  The initial version always
+        qualifies, so the lookup cannot miss.
+        """
+        for version in reversed(self._chain(entity)):
+            if _order_key(version) < position:
+                return version
+        raise KeyError(  # pragma: no cover - initial version sorts first
+            f"no version of {entity!r} before position {position}"
+        )
+
     def latest_by(self, entity: Entity, writer: TxnId) -> Version:
         """The newest version written by ``writer``."""
         self._chain(entity)

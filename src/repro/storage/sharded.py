@@ -130,6 +130,9 @@ class ShardedMultiversionStore:
     def at_position(self, entity: Entity, position: int | None) -> Version:
         return self.shard_for(entity).at_position(entity, position)
 
+    def latest_before(self, entity: Entity, position: int) -> Version:
+        return self.shard_for(entity).latest_before(entity, position)
+
     def latest_by(self, entity: Entity, writer: TxnId) -> Version:
         return self.shard_for(entity).latest_by(entity, writer)
 

@@ -13,7 +13,13 @@ vocabulary instead of importing four differently-shaped classes.  Every
 parameter is validated against the scenario's declared set — an unknown
 knob is a ``ValueError`` listing the valid ones, never a silent drop
 (the same contract :class:`repro.db.RunConfig` enforces for execution
-options).
+options, and the CLI mirrors per scenario: a workload flag the chosen
+scenario has no use for is rejected naming the flags it *does* accept).
+
+Scenarios are execution-mode-agnostic: the same stream runs under any
+registered backend (``serial`` / ``parallel`` / ``planner`` /
+``pipelined`` — see ``docs/execution-modes.md``), which is what makes
+the E15–E18 cross-mode comparisons same-input by construction.
 """
 
 from __future__ import annotations

@@ -49,10 +49,21 @@ class TestValidation:
         with pytest.raises(ValueError, match="parallel.*planner.*serial"):
             RunConfig(mode="quantum")
 
-    @pytest.mark.parametrize("mode", ["serial", "parallel", "planner"])
+    @pytest.mark.parametrize(
+        "mode", ["serial", "parallel", "planner", "pipelined"]
+    )
     def test_counts_must_be_positive(self, mode):
         with pytest.raises(ValueError, match="workers"):
             RunConfig(mode=mode, workers=0)
+
+    @pytest.mark.parametrize("mode", ["serial", "parallel", "planner"])
+    def test_lookahead_applies_only_to_pipelined(self, mode):
+        with pytest.raises(ValueError, match=f"lookahead.*{mode}"):
+            RunConfig(mode=mode, lookahead=2)
+
+    def test_lookahead_must_be_positive(self):
+        with pytest.raises(ValueError, match="lookahead"):
+            RunConfig(mode="pipelined", lookahead=0)
 
     def test_retry_must_be_policy_or_int(self):
         with pytest.raises(ValueError, match="retry"):
@@ -85,6 +96,15 @@ class TestResolution:
         assert config.scheduler is None
         assert config.retry is None
         assert config.epoch_max_steps is None
+        assert config.lookahead is None  # sequential: nothing in flight
+
+    def test_pipelined_defaults(self):
+        config = RunConfig(mode="pipelined")
+        assert config.workers == 4
+        assert config.batch_size == 64
+        assert config.deterministic is False
+        assert config.lookahead == 1
+        assert config.scheduler is None and config.retry is None
 
     def test_retry_int_shorthand(self):
         config = RunConfig(mode="serial", retry=3)

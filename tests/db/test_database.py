@@ -18,7 +18,9 @@ from repro.db import (
 from repro.db.backends import _REGISTRY
 from repro.workloads.streams import ShardedBankScenario
 
-MODES = ("serial", "parallel", "planner")
+MODES = ("serial", "parallel", "planner", "pipelined")
+#: modes whose only aborts are logic aborts + planned cascades.
+PLAN_MODES = ("planner", "pipelined")
 
 
 def small_config(mode, **overrides):
@@ -80,7 +82,7 @@ class TestRun:
         assert report.mode == "planner"
 
     def test_registries_discoverable(self):
-        assert set(Database.backends()) == set(MODES)
+        assert set(Database.backends()) == set(MODES)  # incl. pipelined
         assert set(Database.scenarios()) == {
             "bank", "inventory", "sharded-bank", "read-mostly",
         }
@@ -118,9 +120,11 @@ class TestMetricContract:
         for mode in MODES:
             r = Database().run("sharded-bank", small_config(mode), txns=50)
             assert r.submitted == r.committed + r.gave_up + (
-                r.aborted if mode == "planner" else 0
+                r.aborted if mode in PLAN_MODES else 0
             )
-            assert r.cc_aborts == (0 if mode == "planner" else r.aborted)
+            assert r.cc_aborts == (
+                0 if mode in PLAN_MODES else r.aborted
+            )
 
     def test_throughput_zeroed_only_in_dict(self):
         # The attribute keeps wall-clock (benchmarks need it); the dict

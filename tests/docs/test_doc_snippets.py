@@ -1,0 +1,75 @@
+"""Execute every ```python fenced block in README.md and docs/*.md.
+
+The pre-PR-4 README quickstart drifted from the API until a test ran
+it; this runner makes that structural for the whole docs tree: every
+Python code block must execute (imports resolve, assertions hold) or
+CI fails.  Each block runs in its own subprocess so snippets that
+mutate process-global state — registering a demo backend, say — cannot
+leak into the test session or each other, and each block must be
+self-contained (documentation readers start from zero context too).
+
+Shell blocks (```sh) and plain fences are out of scope: they are
+command transcripts, not API claims.
+"""
+
+import pathlib
+import re
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+#: a fenced python block: ```python ... ``` (tilde fences unused here).
+_BLOCK = re.compile(r"^```python\n(.*?)^```", re.MULTILINE | re.DOTALL)
+
+
+def doc_files():
+    return [REPO_ROOT / "README.md"] + sorted(
+        (REPO_ROOT / "docs").glob("*.md")
+    )
+
+
+def snippets():
+    found = []
+    for path in doc_files():
+        for index, match in enumerate(_BLOCK.finditer(path.read_text())):
+            name = f"{path.relative_to(REPO_ROOT)}#{index}"
+            found.append(pytest.param(path, match.group(1), id=name))
+    return found
+
+
+def test_docs_exist_and_carry_snippets():
+    """The docs tree this runner guards is actually there."""
+    names = {p.name for p in doc_files()}
+    assert {
+        "README.md", "paper-map.md", "backend-authors.md",
+        "execution-modes.md",
+    } <= names
+    assert len(snippets()) >= 5
+
+
+@pytest.mark.parametrize("path, code", snippets())
+def test_doc_snippet_executes(path, code):
+    env = {
+        "PYTHONPATH": str(SRC),
+        # Windows-less CI containers still want a minimal env for
+        # subprocess + threading to behave; inherit nothing secret.
+        "PATH": "/usr/bin:/bin",
+    }
+    result = subprocess.run(
+        [sys.executable, "-"],
+        input=code,
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+        timeout=120,
+    )
+    assert result.returncode == 0, (
+        f"snippet in {path.name} failed\n"
+        f"--- stdout ---\n{result.stdout}\n"
+        f"--- stderr ---\n{result.stderr}"
+    )

@@ -128,10 +128,14 @@ class TestModesRegistry:
     and mode comparison runs through typed RunConfigs."""
 
     def test_registry_names(self):
-        assert set(EXECUTION_MODES) == {"serial", "parallel", "planner"}
+        assert set(EXECUTION_MODES) == {
+            "serial", "parallel", "planner", "pipelined",
+        }
         assert set(EXECUTION_MODES) == set(Database.backends())
 
-    @pytest.mark.parametrize("mode", ["serial", "parallel", "planner"])
+    @pytest.mark.parametrize(
+        "mode", ["serial", "parallel", "planner", "pipelined"]
+    )
     def test_all_modes_run_the_same_stream(self, mode):
         report = Database().run(
             bank(),

@@ -1,0 +1,323 @@
+"""The pipelined planner: stage overlap without plan drift.
+
+Pins the seam contracts of :mod:`repro.planner.pipeline`: the pipelined
+plan is the sequential planner's plan (byte-identical deterministic
+metrics, structurally equal plans), aborts re-bind only the affected
+bindings, GC pins keep bound read sources alive, and the lookahead=1
+single-batch degenerate case *is* the sequential planner.
+"""
+
+import json
+
+import pytest
+
+import repro.planner.driver as driver_mod
+import repro.planner.pipeline as pipeline_mod
+from repro.db import Database, RunConfig
+from repro.engine.errors import EngineError
+from repro.planner import BatchPlanner, PipelinedPlanner
+from repro.workloads.bank import transfer_program, transfer_transaction
+from repro.workloads.streams import ReadMostlyScenario, ShardedBankScenario
+
+
+def bank(seed=5):
+    return ShardedBankScenario(
+        n_shards=4, accounts_per_shard=4, cross_fraction=0.2,
+        hot_fraction=0.2, seed=seed,
+    )
+
+
+def read_mostly(seed=2):
+    return ReadMostlyScenario(
+        n_shards=4, accounts_per_shard=4, read_fraction=0.8,
+        hot_fraction=0.5, seed=seed,
+    )
+
+
+def boom(write_index, reads):
+    raise RuntimeError("logic abort")
+
+
+def abort_stream():
+    """t2 aborts in batch 1; batch 2 reads both its slots (re-bind) and
+    a committed slot of t1 (no re-bind).  batch_size=2 splits here."""
+    return [
+        (transfer_transaction("t1", "a", "b"), transfer_program(5)),
+        (transfer_transaction("t2", "b", "c"), boom),
+        (transfer_transaction("t3", "c", "d"), transfer_program(2)),
+        (transfer_transaction("t4", "a", "b"), transfer_program(1)),
+    ]
+
+
+def plan_signature(plan):
+    """A store-independent structural summary of a (settled) plan."""
+    return [
+        (
+            ptxn.txn,
+            ptxn.timestamp,
+            tuple((s.entity, s.position) for s in ptxn.slots),
+            tuple(sorted(ptxn.deps)),
+            tuple(
+                (
+                    b.step_index,
+                    b.source_txn,
+                    b.source.entity,
+                    b.source.position,
+                )
+                for b in ptxn.bindings
+            ),
+        )
+        for ptxn in plan
+    ]
+
+
+def capture_plans(monkeypatch, module):
+    """Record every BatchPlan a driver module produces (by reference, so
+    later re-binds are visible in the recorded plans)."""
+    recorded = []
+    original = module.plan_batch
+
+    def recording(*args, **kwargs):
+        plan = original(*args, **kwargs)
+        recorded.append(plan)
+        return plan
+
+    monkeypatch.setattr(module, "plan_batch", recording)
+    return recorded
+
+
+class TestPlanEquivalence:
+    """Pipelining changes when planning happens, never what is planned."""
+
+    @pytest.mark.parametrize("lookahead", [1, 2, 3])
+    def test_deterministic_metrics_identical_to_sequential(
+        self, lookahead
+    ):
+        scenario = bank()
+        seq = BatchPlanner(
+            initial=scenario.initial_state(), n_workers=4,
+            batch_size=16, deterministic=True,
+        )
+        m_seq = seq.run(scenario.transaction_stream(120))
+        scenario = bank()
+        pipe = PipelinedPlanner(
+            initial=scenario.initial_state(), n_workers=4,
+            batch_size=16, lookahead=lookahead, deterministic=True,
+        )
+        m_pipe = pipe.run(scenario.transaction_stream(120))
+        assert json.dumps(m_seq.as_dict()) == json.dumps(m_pipe.as_dict())
+        assert seq.final_state() == pipe.final_state()
+
+    @pytest.mark.parametrize("deterministic", [True, False])
+    def test_plans_structurally_equal_to_sequential(
+        self, monkeypatch, deterministic
+    ):
+        seq_plans = capture_plans(monkeypatch, driver_mod)
+        pipe_plans = capture_plans(monkeypatch, pipeline_mod)
+        scenario = bank(seed=9)
+        seq = BatchPlanner(
+            initial=scenario.initial_state(), n_workers=4,
+            batch_size=16, deterministic=True,
+        )
+        seq.run(scenario.transaction_stream(100))
+        scenario = bank(seed=9)
+        pipe = PipelinedPlanner(
+            initial=scenario.initial_state(), n_workers=4,
+            batch_size=16, lookahead=2, deterministic=deterministic,
+        )
+        pipe.run(scenario.transaction_stream(100))
+        assert len(seq_plans) == len(pipe_plans) > 1
+        for sp, pp in zip(seq_plans, pipe_plans):
+            assert plan_signature(sp) == plan_signature(pp)
+
+    def test_plans_equal_across_batch_boundary_aborts(self, monkeypatch):
+        """Re-binding repairs the pipelined plan into exactly the plan
+        the sequential planner builds against the settled store."""
+        seq_plans = capture_plans(monkeypatch, driver_mod)
+        pipe_plans = capture_plans(monkeypatch, pipeline_mod)
+        initial = {k: 100 for k in "abcd"}
+        seq = BatchPlanner(
+            initial=initial, n_workers=2, batch_size=2,
+            deterministic=True,
+        )
+        m_seq = seq.run(abort_stream())
+        pipe = PipelinedPlanner(
+            initial=initial, n_workers=2, batch_size=2,
+            deterministic=True,
+        )
+        m_pipe = pipe.run(abort_stream())
+        for sp, pp in zip(seq_plans, pipe_plans):
+            assert plan_signature(sp) == plan_signature(pp)
+        assert json.dumps(m_seq.as_dict()) == json.dumps(m_pipe.as_dict())
+        assert m_pipe.rebound_reads > 0  # the seam was actually exercised
+        assert seq.final_state() == pipe.final_state()
+
+    def test_threaded_matches_deterministic(self):
+        scenario = read_mostly()
+        det = PipelinedPlanner(
+            initial=scenario.initial_state(), n_workers=4,
+            batch_size=16, lookahead=2, deterministic=True,
+        )
+        m_det = det.run(scenario.transaction_stream(120))
+        scenario = read_mostly()
+        thr = PipelinedPlanner(
+            initial=scenario.initial_state(), n_workers=4,
+            batch_size=16, lookahead=2, deterministic=False,
+        )
+        m_thr = thr.run(scenario.transaction_stream(120))
+        assert det.final_state() == thr.final_state()
+        # Same plan shape in both modes; only wall-clock may differ.
+        for name in (
+            "placeholders_reserved", "base_reads", "own_reads",
+            "dependent_reads", "commit_deps", "cross_batch_reads",
+            "rebound_reads", "committed",
+        ):
+            assert getattr(m_det, name) == getattr(m_thr, name), name
+
+
+class TestSeam:
+    @pytest.mark.parametrize("deterministic", [True, False])
+    @pytest.mark.parametrize("lookahead", [1, 2])
+    def test_abort_rebinds_instead_of_cascading(
+        self, deterministic, lookahead
+    ):
+        pipe = PipelinedPlanner(
+            initial={k: 100 for k in "abcd"}, n_workers=2,
+            batch_size=2, lookahead=lookahead,
+            deterministic=deterministic,
+        )
+        m = pipe.run(abort_stream())
+        # t3/t4 were planned against t2's reserved slots, but t2's abort
+        # re-binds them to surviving state: they commit, no cross-batch
+        # cascade exists by construction.
+        assert m.committed == 3
+        assert m.logic_aborted == 1
+        assert m.cascade_aborted == 0
+        assert m.rebound_reads == 2
+        assert m.cc_aborts == 0
+        assert sum(pipe.final_state().values()) == 400
+        assert pipe.store.placeholder_count() == 0
+
+    def test_rebound_read_binds_to_committed_survivor(self):
+        """t4's read of b re-binds to t1's *filled* slot (same settled
+        batch), not all the way back to the pre-batch base."""
+        pipe = PipelinedPlanner(
+            initial={k: 100 for k in "abcd"}, n_workers=2,
+            batch_size=2, deterministic=True,
+        )
+        pipe.run(abort_stream())
+        state = pipe.final_state()
+        # t1 moved 5 a->b, then t4 moved 1 a->b on top of t1's balance.
+        assert state["a"] == 94 and state["b"] == 106
+
+    def test_cross_batch_reads_counted(self):
+        scenario = bank()
+        pipe = PipelinedPlanner(
+            initial=scenario.initial_state(), n_workers=4,
+            batch_size=8, deterministic=True,
+        )
+        m = pipe.run(scenario.transaction_stream(80))
+        # With 10 batches over 16 hot accounts, later batches must bind
+        # base reads to earlier batches' reserved slots.
+        assert m.cross_batch_reads > 0
+        assert m.committed == 80
+
+    def test_single_batch_degenerates_to_sequential(self):
+        """lookahead=1 with one batch: nothing is ever in flight during
+        execution — the run is the sequential planner stage for stage."""
+        scenario = bank()
+        seq = BatchPlanner(
+            initial=scenario.initial_state(), n_workers=2,
+            batch_size=1000, deterministic=True,
+        )
+        m_seq = seq.run(scenario.transaction_stream(30))
+        scenario = bank()
+        pipe = PipelinedPlanner(
+            initial=scenario.initial_state(), n_workers=2,
+            batch_size=1000, lookahead=1, deterministic=True,
+        )
+        m_pipe = pipe.run(scenario.transaction_stream(30))
+        assert m_pipe.batches == 1
+        assert m_pipe.cross_batch_reads == m_pipe.rebound_reads == 0
+        assert json.dumps(m_seq.as_dict()) == json.dumps(m_pipe.as_dict())
+        assert seq.final_state() == pipe.final_state()
+
+
+class TestDriverContract:
+    def test_single_use(self):
+        pipe = PipelinedPlanner(n_workers=1, batch_size=4)
+        pipe.run([])
+        with pytest.raises(EngineError):
+            pipe.run([])
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            PipelinedPlanner(n_workers=0)
+        with pytest.raises(ValueError):
+            PipelinedPlanner(batch_size=0)
+        with pytest.raises(ValueError):
+            PipelinedPlanner(lookahead=0)
+
+    @pytest.mark.parametrize("deterministic", [True, False])
+    def test_stream_errors_propagate_from_the_planning_stage(
+        self, deterministic
+    ):
+        """A stream iterator raising mid-run fails the run — in threaded
+        mode the error crosses back from the background planning thread
+        instead of silently truncating the stream."""
+
+        def broken_stream():
+            yield from abort_stream()[:3]
+            raise IOError("stream source died")
+
+        pipe = PipelinedPlanner(
+            initial={k: 100 for k in "abcd"}, n_workers=2,
+            batch_size=2, deterministic=deterministic,
+        )
+        with pytest.raises(IOError, match="stream source died"):
+            pipe.run(broken_stream())
+
+    def test_latency_identical_to_sequential_accounting(self):
+        """Admission/settle ticks replicate the sequential driver's, so
+        batching-delay latency is pipeline-invariant."""
+        scenario = bank()
+        pipe = PipelinedPlanner(
+            initial=scenario.initial_state(), n_workers=2,
+            batch_size=10, deterministic=True,
+        )
+        m = pipe.run(scenario.transaction_stream(10))
+        assert m.latency.max == 10
+        assert m.latency.min == 1
+
+    def test_gc_bounds_version_retention(self):
+        scenario = bank()
+        with_gc = PipelinedPlanner(
+            initial=scenario.initial_state(), n_workers=4,
+            batch_size=16, lookahead=2, deterministic=True,
+        )
+        m = with_gc.run(scenario.transaction_stream(200))
+        without_gc = PipelinedPlanner(
+            initial=scenario.initial_state(), n_workers=4,
+            batch_size=16, lookahead=2, deterministic=True,
+            gc_enabled=False,
+        )
+        n = without_gc.run(scenario.transaction_stream(200))
+        assert m.committed == n.committed == 200
+        assert m.engine.final_versions < n.engine.final_versions
+        assert m.engine.gc.versions_pruned > 0
+        assert with_gc.final_state() == without_gc.final_state()
+
+    @pytest.mark.parametrize("deterministic", [True, False])
+    def test_database_api_run(self, deterministic):
+        report = Database().run(
+            "read-mostly",
+            RunConfig(
+                mode="pipelined", workers=4, lookahead=2,
+                deterministic=deterministic, seed=7,
+            ),
+            txns=120,
+        )
+        assert report.committed == 120
+        assert report.cc_aborts == 0
+        assert report.invariant_ok
+        assert report.metrics.lookahead == 2

@@ -148,7 +148,7 @@ class TestRun:
     def test_list_modes(self, capsys):
         assert main(["run", "--list-modes"]) == 0
         out = capsys.readouterr().out
-        for mode in ("serial", "parallel", "planner"):
+        for mode in ("serial", "parallel", "planner", "pipelined"):
             assert mode in out
         assert "abort-free" in out  # registry descriptions shown
 
@@ -163,7 +163,7 @@ class TestRun:
             main(["run", "--mode", "quantum"])
         assert excinfo.value.code == 2
         err = capsys.readouterr().err
-        for mode in ("serial", "parallel", "planner"):
+        for mode in ("serial", "parallel", "planner", "pipelined"):
             assert mode in err
 
     def test_bad_scenario_shows_choices(self, capsys):
@@ -187,6 +187,42 @@ class TestRun:
         err = capsys.readouterr().err
         assert "does not apply to scenario 'bank'" in err
         assert "read-mostly" in err
+
+    def test_scenario_flag_error_names_the_valid_flags(self, capsys):
+        """The satellite fix: a flag/scenario mismatch names the flags
+        the chosen scenario *does* accept, mirroring the RunConfig rule
+        that a rejected option always lists the applicable ones."""
+        assert main([
+            "run", "--mode", "planner", "--scenario", "bank",
+            "--cross-fraction", "0.2",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "--cross-fraction does not apply to scenario 'bank'" in err
+        # ...and what 'bank' would accept, as flag spellings.
+        for flag in ("--entities", "--hot-fraction", "--audit-every"):
+            assert flag in err
+
+    def test_scenario_flag_error_lists_every_applicable_flag(self, capsys):
+        for scenario, flags in {
+            "inventory": ["--entities"],
+            "sharded-bank": [
+                "--accounts-per-shard", "--audit-every",
+                "--cross-fraction", "--hot-fraction",
+            ],
+            "read-mostly": [
+                "--accounts-per-shard", "--hot-fraction",
+                "--read-fraction",
+            ],
+        }.items():
+            assert main([
+                "run", "--scenario", scenario, "--entities", "4",
+            ] if scenario != "inventory" else [
+                "run", "--scenario", scenario, "--read-fraction", "0.5",
+            ]) == 2
+            err = capsys.readouterr().err
+            assert f"scenario {scenario!r} accepts" in err
+            for flag in flags:
+                assert flag in err, (scenario, flag)
 
     def test_serial_bank_run(self, capsys):
         assert main([
@@ -232,7 +268,28 @@ class TestRun:
         assert "abort-free by construction" in out
         assert "invariant     ok" in out
 
-    @pytest.mark.parametrize("mode", ["serial", "parallel", "planner"])
+    def test_pipelined_run_reports_metrics(self, capsys):
+        assert main([
+            "run", "--mode", "pipelined", "--scenario", "read-mostly",
+            "--workers", "2", "--txns", "50", "--lookahead", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "read-mostly via pipelined backend" in out
+        assert "cc aborts     0" in out
+        assert "lookahead 2" in out
+        assert "pipeline" in out
+        assert "invariant     ok" in out
+
+    def test_lookahead_rejected_off_pipelined(self, capsys):
+        assert main([
+            "run", "--mode", "planner", "--lookahead", "2",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "lookahead" in err and "does not apply to mode" in err
+
+    @pytest.mark.parametrize(
+        "mode", ["serial", "parallel", "planner", "pipelined"]
+    )
     def test_deterministic_json_is_byte_identical(self, mode, capsys):
         argv = [
             "run", "--mode", mode, "--scenario", "sharded-bank",
