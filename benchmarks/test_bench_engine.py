@@ -72,6 +72,7 @@ def test_bench_engine(benchmark, table_writer):
                 "gave_up": m_on.gave_up,
                 "rate": round(m_on.commit_rate, 3),
                 "lat_mean": round(m_on.latency.mean, 1),
+                "lat_p50": m_on.latency.p50,
                 "lat_p95": m_on.latency.p95,
                 "lat_max": m_on.latency.max,
                 "gc_pruned": m_on.gc.versions_pruned,

@@ -111,6 +111,7 @@ def test_bench_pipeline(benchmark, table_writer):
                 "speedup": 1.0,
                 "cc_aborts": planner_thr.cc_aborts,
                 "overlap_ms": "-",
+                "lat_p50": planner_thr.latency.p50,
                 "lat_p95": planner_thr.latency.p95,
             }
         )
@@ -131,6 +132,7 @@ def test_bench_pipeline(benchmark, table_writer):
                     "overlap_ms": round(
                         1000 * native.overlap_elapsed, 1
                     ),
+                    "lat_p50": r.latency.p50,
                     "lat_p95": r.latency.p95,
                 }
             )

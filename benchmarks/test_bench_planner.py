@@ -102,6 +102,7 @@ def test_bench_planner(benchmark, table_writer):
                 "speedup": 1.0,
                 "cc_aborts": serial.cc_aborts,
                 "lat_mean": round(serial.latency.mean, 1),
+                "lat_p50": serial.latency.p50,
                 "lat_p95": serial.latency.p95,
             }
         )
@@ -117,6 +118,7 @@ def test_bench_planner(benchmark, table_writer):
                 ) if serial.throughput else "-",
                 "cc_aborts": parallel.cc_aborts,
                 "lat_mean": round(parallel.latency.mean, 1),
+                "lat_p50": parallel.latency.p50,
                 "lat_p95": parallel.latency.p95,
             }
         )
@@ -137,6 +139,7 @@ def test_bench_planner(benchmark, table_writer):
                         ) if serial.throughput else "-",
                         "cc_aborts": m.cc_aborts,
                         "lat_mean": round(m.latency.mean, 1),
+                        "lat_p50": m.latency.p50,
                         "lat_p95": m.latency.p95,
                     }
                 )

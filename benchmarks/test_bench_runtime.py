@@ -98,6 +98,7 @@ def test_bench_runtime(benchmark, table_writer):
                 "speedup": 1.0,
                 "aborted": serial.aborted,
                 "lat_mean": round(serial.latency.mean, 1),
+                "lat_p50": serial.latency.p50,
                 "lat_p95": serial.latency.p95,
             }
         )
@@ -118,6 +119,7 @@ def test_bench_runtime(benchmark, table_writer):
                             ),
                             "aborted": m.aborted,
                             "lat_mean": round(m.latency.mean, 1),
+                            "lat_p50": m.latency.p50,
                             "lat_p95": m.latency.p95,
                         }
                     )

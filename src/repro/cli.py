@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Sequence
 
@@ -80,6 +81,24 @@ def _nonnegative_int(text: str) -> int:
     if value < 0:
         raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return value
+
+
+def _writable_path(text: str) -> str:
+    """argparse type: a path whose file can be created/overwritten.
+
+    Checked at parse time (like every other option here) so a typo'd
+    trace directory fails with a one-line usage error before the run
+    spends a second computing a trace it cannot write.
+    """
+    directory = os.path.dirname(text) or "."
+    if not os.path.isdir(directory):
+        raise argparse.ArgumentTypeError(
+            f"directory does not exist: {directory!r}"
+        )
+    target = text if os.path.exists(text) else directory
+    if not os.access(target, os.W_OK):
+        raise argparse.ArgumentTypeError(f"not writable: {text!r}")
+    return text
 
 
 def _parse_cnf(text: str) -> CNF:
@@ -261,10 +280,16 @@ def _execute_run(
     if scenario in _SHARDED_SCENARIOS:
         params.setdefault("n_shards", config.workers)
     report = Database().run(scenario, config, txns=txns, **params)
-    if json_buffer is not None:
-        json_buffer.append(report.as_dict())
-    elif json_out:
-        print(json.dumps(report.as_dict()))
+    if json_buffer is not None or json_out:
+        # The JSON document carries the telemetry view next to the
+        # guaranteed schema — counters/gauges/histograms without
+        # touching the frozen report keys.
+        doc = report.as_dict()
+        doc["telemetry"] = report.telemetry()
+        if json_buffer is not None:
+            json_buffer.append(doc)
+        else:
+            print(json.dumps(doc))
     else:
         print(report.report())
     return 0 if report.invariant_ok else 1
@@ -334,10 +359,20 @@ def cmd_run(args: argparse.Namespace) -> int:
             "gc_every": args.gc_every,
             "epoch_max_steps": args.epoch_steps,
             "lookahead": args.lookahead,
+            "trace": args.trace,
         },
         scenario_params=_translate_scenario_flags(args),
         json_out=args.json,
     )
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import format_summary, read_jsonl, summarize
+
+    meta, events = read_jsonl(args.path)
+    summary = summarize(events, dropped=meta.get("dropped", 0))
+    print(format_summary(summary))
+    return 0
 
 
 # -- deprecated aliases (delegate to the Database API) ---------------------
@@ -604,7 +639,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="every k-th transaction is a read-only audit")
     p.add_argument("--json", action="store_true",
                    help="print the RunReport dict as JSON")
+    p.add_argument("--trace", type=_writable_path, default=None,
+                   metavar="PATH",
+                   help="write a JSONL execution trace to PATH")
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "trace",
+        help="inspect a JSONL execution trace written by run --trace",
+    )
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    p = trace_sub.add_parser(
+        "summarize",
+        help="per-phase time breakdown and critical-path stats",
+    )
+    p.add_argument("path", help="trace file written by run --trace")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser(
         "engine",

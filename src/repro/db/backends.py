@@ -146,7 +146,7 @@ class SerialEngineBackend(BackendAdapter):
     )
     applicable = frozenset({
         "scheduler", "workers", "deterministic", "retry",
-        "gc_every", "epoch_max_steps",
+        "gc_every", "epoch_max_steps", "trace",
     })
     defaults = {
         "scheduler": "mvto",
@@ -171,23 +171,26 @@ class SerialEngineBackend(BackendAdapter):
             OnlineEngine,
             scheduler_factory,
         )
+        from repro.obs import trace_run
 
-        engine = OnlineEngine(
-            scheduler_factory(config.scheduler),
-            initial=initial,
-            n_shards=max(config.workers, 1),
-            gc_enabled=config.gc,
-            gc_every_commits=config.gc_every,
-            epoch_max_steps=config.epoch_max_steps,
-        )
-        driver = ConcurrentDriver(
-            engine,
-            stream,
-            n_sessions=config.workers,
-            retry=config.retry,
-            seed=config.seed,
-        )
-        return driver.run(), engine.store.final_state()
+        with trace_run(config) as tracer:
+            engine = OnlineEngine(
+                scheduler_factory(config.scheduler),
+                initial=initial,
+                n_shards=max(config.workers, 1),
+                gc_enabled=config.gc,
+                gc_every_commits=config.gc_every,
+                epoch_max_steps=config.epoch_max_steps,
+                tracer=tracer,
+            )
+            driver = ConcurrentDriver(
+                engine,
+                stream,
+                n_sessions=config.workers,
+                retry=config.retry,
+                seed=config.seed,
+            )
+            return driver.run(), engine.store.final_state()
 
     def _core(self, metrics) -> dict[str, int]:
         # Every engine abort is a concurrency-control abort (rejected
@@ -212,7 +215,7 @@ class ShardRuntimeBackend(BackendAdapter):
     )
     applicable = frozenset({
         "scheduler", "workers", "batch_size", "deterministic",
-        "retry", "gc_every", "epoch_max_steps",
+        "retry", "gc_every", "epoch_max_steps", "trace",
     })
     defaults = {
         "scheduler": "mvto",
@@ -225,25 +228,28 @@ class ShardRuntimeBackend(BackendAdapter):
     }
 
     def _execute(self, stream, initial, config: "RunConfig"):
+        from repro.obs import trace_run
         from repro.runtime.dispatch import ShardRuntime
 
-        runtime = ShardRuntime(
-            config.scheduler,
-            initial=initial,
-            n_workers=config.workers,
-            batch_size=config.batch_size,
-            # E16's measured operating point; not a RunConfig knob —
-            # it tunes dispatcher admission, not the execution model.
-            inflight=16,
-            deterministic=config.deterministic,
-            retry=config.retry,
-            seed=config.seed,
-            gc_enabled=config.gc,
-            gc_every_commits=config.gc_every,
-            epoch_max_steps=config.epoch_max_steps,
-        )
-        metrics = runtime.run(stream)
-        return metrics, runtime.final_state(), (runtime.plan.note,)
+        with trace_run(config) as tracer:
+            runtime = ShardRuntime(
+                config.scheduler,
+                initial=initial,
+                n_workers=config.workers,
+                batch_size=config.batch_size,
+                # E16's measured operating point; not a RunConfig knob —
+                # it tunes dispatcher admission, not the execution model.
+                inflight=16,
+                deterministic=config.deterministic,
+                retry=config.retry,
+                seed=config.seed,
+                gc_enabled=config.gc,
+                gc_every_commits=config.gc_every,
+                epoch_max_steps=config.epoch_max_steps,
+                tracer=tracer,
+            )
+            metrics = runtime.run(stream)
+            return metrics, runtime.final_state(), (runtime.plan.note,)
 
     def _core(self, metrics) -> dict[str, int]:
         # Runtime aborts are attempt-level CC events: rejected steps,
@@ -272,7 +278,7 @@ class BatchPlannerBackend(BackendAdapter):
         "versions, zero CC aborts by construction"
     )
     applicable = frozenset({
-        "workers", "batch_size", "deterministic",
+        "workers", "batch_size", "deterministic", "trace",
     })
     defaults = {
         "workers": 4,
@@ -281,17 +287,20 @@ class BatchPlannerBackend(BackendAdapter):
     }
 
     def _execute(self, stream, initial, config: "RunConfig"):
+        from repro.obs import trace_run
         from repro.planner.driver import BatchPlanner
 
-        planner = BatchPlanner(
-            initial=initial,
-            n_workers=config.workers,
-            batch_size=config.batch_size,
-            deterministic=config.deterministic,
-            gc_enabled=config.gc,
-            seed=config.seed,
-        )
-        return planner.run(stream), planner.final_state()
+        with trace_run(config) as tracer:
+            planner = BatchPlanner(
+                initial=initial,
+                n_workers=config.workers,
+                batch_size=config.batch_size,
+                deterministic=config.deterministic,
+                gc_enabled=config.gc,
+                seed=config.seed,
+                tracer=tracer,
+            )
+            return planner.run(stream), planner.final_state()
 
     def _core(self, metrics) -> dict[str, int]:
         # The only aborts left are logic aborts and their planned
@@ -322,7 +331,7 @@ class PipelinedPlannerBackend(BackendAdapter):
         "executes (lookahead-deep), zero CC aborts by construction"
     )
     applicable = frozenset({
-        "workers", "batch_size", "deterministic", "lookahead",
+        "workers", "batch_size", "deterministic", "lookahead", "trace",
     })
     defaults = {
         "workers": 4,
@@ -332,18 +341,21 @@ class PipelinedPlannerBackend(BackendAdapter):
     }
 
     def _execute(self, stream, initial, config: "RunConfig"):
+        from repro.obs import trace_run
         from repro.planner.pipeline import PipelinedPlanner
 
-        pipeline = PipelinedPlanner(
-            initial=initial,
-            n_workers=config.workers,
-            batch_size=config.batch_size,
-            lookahead=config.lookahead,
-            deterministic=config.deterministic,
-            gc_enabled=config.gc,
-            seed=config.seed,
-        )
-        return pipeline.run(stream), pipeline.final_state()
+        with trace_run(config) as tracer:
+            pipeline = PipelinedPlanner(
+                initial=initial,
+                n_workers=config.workers,
+                batch_size=config.batch_size,
+                lookahead=config.lookahead,
+                deterministic=config.deterministic,
+                gc_enabled=config.gc,
+                seed=config.seed,
+                tracer=tracer,
+            )
+            return pipeline.run(stream), pipeline.final_state()
 
     def _core(self, metrics) -> dict[str, int]:
         # Identical semantics mapping to the sequential planner: the

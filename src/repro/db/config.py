@@ -33,6 +33,7 @@ MODE_OPTIONS: tuple[str, ...] = (
     "gc_every",
     "epoch_max_steps",
     "lookahead",
+    "trace",
 )
 
 
@@ -71,6 +72,10 @@ class RunConfig:
     #: batches the pipelined planner may plan ahead of the executing one
     #: (pipelined mode only; the other modes have no planning stage).
     lookahead: int | None = None
+    #: structured tracing: a JSONL path to persist the trace to, or a
+    #: live :class:`repro.obs.Tracer` to collect in memory (tests).
+    #: ``None`` (the default everywhere) runs untraced at no cost.
+    trace: Any = None
 
     def __post_init__(self) -> None:
         from repro.db.backends import get_backend
@@ -110,6 +115,14 @@ class RunConfig:
                 )
             if self.retry.max_attempts < 1:
                 raise ValueError("retry.max_attempts must be >= 1")
+        if self.trace is not None:
+            from repro.obs import NullTracer, Tracer
+
+            if not isinstance(self.trace, (str, Tracer, NullTracer)):
+                raise ValueError(
+                    f"trace must be a JSONL path or a repro.obs.Tracer, "
+                    f"got {self.trace!r}"
+                )
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-serializable echo of the resolved configuration.
@@ -119,6 +132,11 @@ class RunConfig:
         """
         out: dict[str, Any] = {}
         for f in fields(self):
+            # ``trace`` is an observability knob, not an execution knob:
+            # it never changes what the run computes, so the config echo
+            # omits it and reports stay byte-identical traced or not.
+            if f.name == "trace":
+                continue
             value = getattr(self, f.name)
             if isinstance(value, RetryPolicy):
                 value = {

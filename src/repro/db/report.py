@@ -120,6 +120,20 @@ class RunReport:
             "mode_specific": dict(self.mode_specific),
         }
 
+    def telemetry(self) -> dict[str, Any]:
+        """The uniform counters/gauges/histograms view (see
+        :mod:`repro.obs`).
+
+        A separate surface from :meth:`as_dict` on purpose: the
+        guaranteed schema stays frozen while the telemetry view grows
+        with the instrumentation.  Backends whose native metrics object
+        implements ``register_into(registry)`` populate it; anything
+        else yields the empty view.
+        """
+        from repro.obs import telemetry_view
+
+        return telemetry_view(self.metrics)
+
     def report(self) -> str:
         """A human-readable block for the CLI: one header line naming
         the scenario/backend/knobs, the backend's native report, then

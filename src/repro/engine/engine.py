@@ -53,6 +53,7 @@ from repro.storage.sharded import ShardedMultiversionStore
 from repro.engine.errors import EngineError, TransactionAborted
 from repro.engine.gc import WatermarkGC
 from repro.engine.metrics import EngineMetrics
+from repro.obs import NULL_TRACER
 
 #: Builds a scheduler given the engine's live lengths dict (the engine
 #: registers each transaction's step count there at begin time).
@@ -128,9 +129,17 @@ class OnlineEngine:
         gc_every_commits: int = 32,
         epoch_max_steps: int = 256,
         hold_commits: bool = False,
+        tracer=NULL_TRACER,
+        trace_track: str = "engine",
     ) -> None:
         if epoch_max_steps < 1:
             raise ValueError("epoch_max_steps must be >= 1")
+        #: trace sink for lifecycle events; every hook is guarded by
+        #: ``tracer.enabled`` so the default costs one attribute check.
+        self.tracer = tracer
+        #: trace lane (the shard runtime runs one engine per domain and
+        #: names each lane ``shard-<domain>``).
+        self.trace_track = trace_track
         #: when True, every attempt begins held: completion makes it
         #: PENDING but only :meth:`release` can durably commit it (the
         #: parallel runtime's group-commit discipline).
@@ -143,7 +152,11 @@ class OnlineEngine:
             else ShardedMultiversionStore(n_shards, initial)
         )
         self.metrics = EngineMetrics()
-        self.gc = WatermarkGC(self.store) if gc_enabled else None
+        self.gc = (
+            WatermarkGC(self.store, tracer=tracer, trace_track=trace_track)
+            if gc_enabled
+            else None
+        )
         if self.gc is not None:
             self.metrics.gc = self.gc.stats
         self.gc_every_commits = gc_every_commits
@@ -308,6 +321,11 @@ class OnlineEngine:
             raise EngineError(
                 f"close_epoch with {len(self._live)} transactions in flight"
             )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "epoch", "epoch.close", self.trace_track,
+                epoch=self.metrics.epochs_closed, steps=len(self.log),
+            )
         self.scheduler.reset()
         self.log.clear()
         self._base.clear()
@@ -425,9 +443,16 @@ class OnlineEngine:
                 )
             doomed.add(attempt)
             stack.extend(attempt.readers)
-        for attempt in doomed:
+        # Oldest-first: per-attempt work is order-independent, but the
+        # trace events are not — set order varies across processes.
+        for attempt in sorted(doomed, key=lambda a: a.seq):
             attempt.state = TxnState.ABORTED
             attempt.abort_reason = reason if attempt is root else "cascade"
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "txn", "txn.abort", self.trace_track,
+                    txn=str(attempt.txn), reason=attempt.abort_reason,
+                )
             if attempt is root:
                 if reason == "rejected":
                     self.metrics.aborted_rejected += 1
@@ -522,7 +547,9 @@ class OnlineEngine:
         progress = True
         while progress:
             progress = False
-            for attempt in list(self._pending):
+            # Oldest-first for a deterministic commit (and trace) order;
+            # the fixpoint itself is order-insensitive.
+            for attempt in sorted(self._pending, key=lambda a: a.seq):
                 if attempt.hold:
                     continue
                 if all(
@@ -536,9 +563,15 @@ class OnlineEngine:
         self._pending.discard(attempt)
         self._live.discard(attempt)
         self.metrics.committed += 1
+        latency = None
         if attempt.born_tick is not None:
-            self.metrics.latency.record(
-                self.metrics.ticks - attempt.born_tick
+            latency = self.metrics.ticks - attempt.born_tick
+            self.metrics.latency.record(latency)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "txn", "txn.commit", self.trace_track,
+                txn=str(attempt.txn),
+                **({} if latency is None else {"latency": latency}),
             )
         self._commits_since_gc += 1
         if (

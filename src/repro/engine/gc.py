@@ -35,6 +35,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs import NULL_TRACER
+
 
 @dataclass
 class GCStats:
@@ -61,9 +63,13 @@ class GCStats:
 class WatermarkGC:
     """Prune version-chain prefixes behind a position watermark."""
 
-    def __init__(self, store) -> None:
+    def __init__(
+        self, store, tracer=NULL_TRACER, trace_track: str = "engine"
+    ) -> None:
         self.store = store
         self.stats = GCStats()
+        self.tracer = tracer
+        self.trace_track = trace_track
         #: multiset of pinned positions (in-flight plans; duplicates are
         #: legal — two write-free batches pin the same position).
         self._pins: list[int] = []
@@ -110,4 +116,10 @@ class WatermarkGC:
         stats.last_before = before
         stats.last_after = before - pruned
         stats.peak_versions = max(stats.peak_versions, before)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "gc", "gc.collect", self.trace_track,
+                pruned=pruned, before=before, after=before - pruned,
+                watermark=watermark,
+            )
         return pruned

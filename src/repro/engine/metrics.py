@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 from repro.engine.gc import GCStats
+from repro.obs.stats import percentile, summarize_samples
 
 
 @dataclass
@@ -40,28 +40,24 @@ class LatencyStats:
         return sum(self.samples) / len(self.samples) if self.samples else 0.0
 
     @property
+    def p50(self) -> int:
+        """Median (nearest-rank, shared :func:`repro.obs.percentile`)."""
+        return percentile(self.samples, 0.50) if self.samples else 0
+
+    @property
     def p95(self) -> int:
-        """95th percentile (nearest-rank)."""
-        if not self.samples:
-            return 0
-        ordered = sorted(self.samples)
-        rank = math.ceil(0.95 * len(ordered))
-        return ordered[rank - 1]
+        """95th percentile (nearest-rank, same shared rule)."""
+        return percentile(self.samples, 0.95) if self.samples else 0
 
     def as_dict(self) -> dict:
-        return {
-            "count": self.count,
-            "min": self.min,
-            "mean": round(self.mean, 3),
-            "p95": self.p95,
-            "max": self.max,
-        }
+        # The one histogram shape every telemetry surface serializes to.
+        return summarize_samples(self.samples)
 
     def summary(self) -> str:
         if not self.samples:
             return "no samples"
         return (
-            f"min {self.min}, mean {self.mean:.1f}, "
+            f"min {self.min}, p50 {self.p50}, mean {self.mean:.1f}, "
             f"p95 {self.p95}, max {self.max} ticks"
         )
 
@@ -135,6 +131,32 @@ class EngineMetrics:
             "peak_versions": self.gc.peak_versions,
             "final_versions": self.final_versions,
         }
+
+    def register_into(self, registry) -> None:
+        """Publish into a :class:`repro.obs.MetricsRegistry`.
+
+        Dotted ``engine.*`` names; wall-clock quantities (``elapsed``,
+        throughput) are deliberately absent so equal-seed deterministic
+        telemetry is byte-identical.
+        """
+        registry.counter("engine.attempts", self.attempts)
+        registry.counter("engine.committed", self.committed)
+        registry.counter("engine.aborted.rejected", self.aborted_rejected)
+        registry.counter("engine.aborted.deadlock", self.aborted_deadlock)
+        registry.counter("engine.aborted.cascade", self.aborted_cascade)
+        registry.counter("engine.aborted.external", self.aborted_external)
+        registry.counter("engine.retries", self.retries)
+        registry.counter("engine.gave_up", self.gave_up)
+        registry.counter("engine.steps.submitted", self.steps_submitted)
+        registry.counter("engine.steps.rejected", self.steps_rejected)
+        registry.counter("engine.epochs_closed", self.epochs_closed)
+        registry.counter("engine.replays", self.replays)
+        registry.gauge("engine.ticks", self.ticks)
+        registry.gauge("engine.final_versions", self.final_versions)
+        registry.histogram("engine.latency", self.latency.samples)
+        registry.counter("engine.gc.collections", self.gc.collections)
+        registry.counter("engine.gc.versions_pruned", self.gc.versions_pruned)
+        registry.gauge("engine.gc.peak_versions", self.gc.peak_versions)
 
     def report(self) -> str:
         """A human-readable block for the CLI."""

@@ -75,6 +75,12 @@ class Session:
         self.program = program
         self.attempt_no = 0
         self.born_tick = self.engine.metrics.ticks
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "txn", "txn.submit", self.engine.trace_track,
+                txn=str(transaction.txn), session=self.session_id,
+            )
         self._begin_attempt()
 
     def _begin_attempt(self) -> None:
@@ -118,6 +124,13 @@ class Session:
             if self.attempt.state is TxnState.COMMITTED:
                 return self._settle_commit()
             self.state = SessionState.WAITING
+            tracer = self.engine.tracer
+            if tracer.enabled:
+                # Parked: all steps in, blocked on commit dependencies.
+                tracer.instant(
+                    "txn", "txn.park", self.engine.trace_track,
+                    txn=str(self.transaction.txn),
+                )
             return "waiting"
         # WAITING: poll the attempt's fate.
         if self.attempt.state is TxnState.COMMITTED:
@@ -130,13 +143,26 @@ class Session:
         return "committed"
 
     def _handle_abort(self) -> str:
+        tracer = self.engine.tracer
         if self.retry.exhausted(self.attempt_no):
             self.gave_up.append(self.transaction.txn)
             self.engine.metrics.gave_up += 1
+            if tracer.enabled:
+                tracer.instant(
+                    "txn", "txn.gave-up", self.engine.trace_track,
+                    txn=str(self.transaction.txn),
+                    attempts=self.attempt_no,
+                )
             self._reset_to_idle()
             return "gave-up"
         self.engine.metrics.retries += 1
         self.backoff_left = self.retry.delay(self.attempt_no, self.rng)
+        if tracer.enabled:
+            tracer.instant(
+                "txn", "txn.retry", self.engine.trace_track,
+                txn=str(self.transaction.txn),
+                attempt=self.attempt_no, backoff=self.backoff_left,
+            )
         if self.backoff_left > 0:
             self.state = SessionState.BACKOFF
         else:
@@ -196,6 +222,10 @@ class ConcurrentDriver:
     def run(self) -> EngineMetrics:
         """Drain the stream; returns the engine's metrics."""
         engine = self.engine
+        if engine.tracer.enabled:
+            # The serial driver is single-threaded and seeded — always
+            # deterministic — so the trace clock is always the tick.
+            engine.tracer.use_clock(lambda: engine.metrics.ticks)
         started = time.perf_counter()
         while True:
             engine.metrics.ticks += 1

@@ -1,0 +1,138 @@
+"""`MetricsRegistry`: one namespace of counters, gauges and histograms.
+
+The three metrics classes (:class:`repro.engine.metrics.EngineMetrics`,
+:class:`repro.runtime.metrics.RuntimeMetrics`,
+:class:`repro.planner.metrics.PlannerMetrics`) grew up independently and
+diverge in shape; cross-mode tooling had to know all three.  The
+registry inverts that: each class *registers* its counters under dotted
+names (``engine.committed``, ``runtime.group_commit.flushed``,
+``planner.cc_aborts`` …) via its ``register_into`` method, and
+:meth:`MetricsRegistry.as_dict` yields one uniform, sorted, JSON-stable
+view — the ``telemetry`` surface :class:`repro.db.RunReport` exposes for
+every backend without touching the guaranteed report schema.
+
+Wall-clock quantities are deliberately *not* registered (the same rule
+as every ``as_dict``): two equal-seed deterministic runs produce
+byte-identical telemetry.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.obs.stats import summarize_samples
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time level (version count, worker count, ticks)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int | float = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A sample distribution, summarized by the shared percentile rule."""
+
+    __slots__ = ("name", "samples")
+
+    def __init__(
+        self, name: str, samples: Iterable[int | float] = ()
+    ) -> None:
+        self.name = name
+        self.samples: list[int | float] = list(samples)
+
+    def record(self, value: int | float) -> None:
+        self.samples.append(value)
+
+    def summary(self) -> dict:
+        return summarize_samples(self.samples)
+
+
+class MetricsRegistry:
+    """Named instruments, each created exactly once, typed at creation."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _register(self, instrument):
+        name = instrument.name
+        if name in self._instruments:
+            raise ValueError(f"instrument {name!r} already registered")
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, value: int = 0) -> Counter:
+        return self._register(Counter(name, value))
+
+    def gauge(self, name: str, value: int | float = 0) -> Gauge:
+        return self._register(Gauge(name, value))
+
+    def histogram(
+        self, name: str, samples: Sequence[int | float] = ()
+    ) -> Histogram:
+        return self._register(Histogram(name, samples))
+
+    def get(self, name: str):
+        return self._instruments[name]
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._instruments))
+
+    def as_dict(self) -> dict:
+        """The uniform telemetry view: three sorted sub-maps.
+
+        Counters and gauges serialize to their values, histograms to the
+        shared count/min/p50/mean/p95/max summary.  Sorted names make
+        the dict byte-stable regardless of registration order.
+        """
+        counters: dict = {}
+        gauges: dict = {}
+        histograms: dict = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                counters[name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                gauges[name] = instrument.value
+            else:
+                histograms[name] = instrument.summary()
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+
+def telemetry_view(metrics) -> dict:
+    """The telemetry dict for any native metrics object.
+
+    Objects exposing ``register_into(registry)`` (all built-in metrics
+    classes) populate a fresh registry; anything else yields the empty
+    view — a third-party backend opts in by implementing the method.
+    """
+    registry = MetricsRegistry()
+    register = getattr(metrics, "register_into", None)
+    if register is not None:
+        register(registry)
+    return registry.as_dict()

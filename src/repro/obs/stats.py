@@ -1,0 +1,49 @@
+"""Shared order statistics for every latency/telemetry surface.
+
+Before this module each metrics class hand-rolled its percentile
+(``LatencyStats.p95`` owned the only copy, and every new histogram was
+about to grow another).  One definition of the nearest-rank rule keeps
+``p50``/``p95`` identical wherever they are reported — engine latency,
+registry histograms, trace summaries, E-benchmark columns.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def percentile(samples: Sequence[int | float], q: float) -> int | float:
+    """Nearest-rank ``q``-th percentile of ``samples`` (0 when empty).
+
+    ``q`` is a fraction in (0, 1].  Nearest-rank returns an actual
+    sample (never an interpolation), so integer tick latencies stay
+    integers and deterministic reports stay byte-stable.
+    """
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"q must be in (0, 1], got {q}")
+    if not samples:
+        return 0
+    ordered = sorted(samples)
+    rank = math.ceil(q * len(ordered))
+    return ordered[rank - 1]
+
+
+def summarize_samples(samples: Sequence[int | float]) -> dict:
+    """The uniform histogram summary: count/min/p50/mean/p95/max.
+
+    The one shape every histogram-valued telemetry entry serializes to
+    (registry histograms and ``LatencyStats.as_dict`` agree on it).
+    """
+    if not samples:
+        return {
+            "count": 0, "min": 0, "p50": 0, "mean": 0.0, "p95": 0, "max": 0,
+        }
+    return {
+        "count": len(samples),
+        "min": min(samples),
+        "p50": percentile(samples, 0.50),
+        "mean": round(sum(samples) / len(samples), 3),
+        "p95": percentile(samples, 0.95),
+        "max": max(samples),
+    }

@@ -1,0 +1,192 @@
+"""Structured tracing: lifecycle spans and events for every backend.
+
+A :class:`Tracer` records :class:`TraceEvent`\\ s — begin/end span pairs
+and instants — into a bounded ring-buffer :class:`EventLog`.  The four
+execution modes emit the same taxonomy through it (``docs/
+observability.md`` is the reference), so one trace format covers the
+serial engine, the shard runtime, the batch planner and the pipeline.
+
+Two contracts shape the design:
+
+* **Determinism.**  In deterministic mode every subsystem points the
+  tracer's clock at its logical tick counter (:meth:`Tracer.use_clock`),
+  so two equal-seed runs emit byte-identical traces — the same
+  reproducibility rule the metrics dicts already honor, extended to the
+  event stream.  Threaded runs keep the wall clock (microseconds since
+  tracer construction) and give up byte-identity, exactly like their
+  ``elapsed`` fields.
+* **Zero-cost when off.**  The default tracer is :data:`NULL_TRACER`,
+  whose ``enabled`` is False; every instrumentation hook is guarded as
+  ``if tracer.enabled: tracer.instant(...)`` so an untraced run pays one
+  attribute check per hook and builds no event objects.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+#: event kinds, following the Chrome trace-viewer phase letters:
+#: ``B``/``E`` bracket a span on one track, ``I`` is an instant.
+BEGIN = "B"
+END = "E"
+INSTANT = "I"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record: what happened, when, on which track.
+
+    ``ts`` is the tracer clock's value at emit time — logical ticks in
+    deterministic runs, microseconds otherwise.  ``track`` names the
+    logical lane the event belongs to (``"driver"``, ``"plan"``,
+    ``"execute"``, ``"shard-2"`` …); the Chrome exporter maps tracks to
+    threads so phase overlap is directly visible.  ``args`` carries the
+    event's payload (txn id, abort reason, counts) and must stay
+    JSON-serializable.
+    """
+
+    ts: int | float
+    ph: str
+    cat: str
+    name: str
+    track: str
+    args: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Stable key order; ``args`` keys sorted — byte-stable JSONL."""
+        return {
+            "ts": self.ts,
+            "ph": self.ph,
+            "cat": self.cat,
+            "name": self.name,
+            "track": self.track,
+            "args": {k: self.args[k] for k in sorted(self.args)},
+        }
+
+
+class EventLog:
+    """Bounded ring buffer of trace events.
+
+    When full, the oldest event is dropped and counted — a trace can
+    never grow without bound no matter how long the run, and the drop
+    count rides along so a truncated trace says so instead of silently
+    posing as complete.  Appends take a lock: threaded backends emit
+    from worker and pipeline threads.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: deque[TraceEvent] = deque()
+        self._dropped = 0
+        self._mutex = threading.Lock()
+
+    def append(self, event: TraceEvent) -> None:
+        with self._mutex:
+            if len(self._events) >= self.capacity:
+                self._events.popleft()
+                self._dropped += 1
+            self._events.append(event)
+
+    @property
+    def dropped(self) -> int:
+        """Events discarded to honor the capacity bound."""
+        return self._dropped
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(list(self._events))
+
+
+class NullTracer:
+    """The do-nothing default: ``enabled`` is False, hooks skip it.
+
+    Every method exists so code that *unconditionally* calls the tracer
+    still works — but the supported hook idiom checks ``enabled`` first
+    and never reaches them.
+    """
+
+    enabled = False
+
+    def use_clock(self, clock: Callable[[], int | float]) -> None:
+        return None
+
+    def instant(self, cat: str, name: str, track: str = "driver",
+                **args: Any) -> None:
+        return None
+
+    def begin(self, cat: str, name: str, track: str = "driver",
+              **args: Any) -> None:
+        return None
+
+    def end(self, cat: str, name: str, track: str = "driver",
+            **args: Any) -> None:
+        return None
+
+
+#: the shared default tracer — untraced runs all point here.
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects trace events for one run.
+
+    ``clock`` supplies timestamps; the default is wall-clock
+    microseconds since construction.  Deterministic subsystems replace
+    it with their logical tick counter via :meth:`use_clock` — the
+    subsystem, not the caller, knows which counter is its clock.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        capacity: int = 65536,
+        clock: Callable[[], int | float] | None = None,
+    ) -> None:
+        self.log = EventLog(capacity)
+        if clock is None:
+            started = time.perf_counter()
+            clock = lambda: int((time.perf_counter() - started) * 1e6)  # noqa: E731
+        self._clock = clock
+
+    def use_clock(self, clock: Callable[[], int | float]) -> None:
+        """Point timestamps at a logical clock (deterministic mode)."""
+        self._clock = clock
+
+    # -- emit --------------------------------------------------------------
+
+    def _emit(self, ph: str, cat: str, name: str, track: str,
+              args: dict[str, Any]) -> None:
+        self.log.append(TraceEvent(self._clock(), ph, cat, name, track, args))
+
+    def instant(self, cat: str, name: str, track: str = "driver",
+                **args: Any) -> None:
+        """A point event (commit, abort, GC cycle, vote …)."""
+        self._emit(INSTANT, cat, name, track, args)
+
+    def begin(self, cat: str, name: str, track: str = "driver",
+              **args: Any) -> None:
+        """Open a span on ``track``; close it with :meth:`end`."""
+        self._emit(BEGIN, cat, name, track, args)
+
+    def end(self, cat: str, name: str, track: str = "driver",
+            **args: Any) -> None:
+        self._emit(END, cat, name, track, args)
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        return list(self.log)
+
+    @property
+    def dropped(self) -> int:
+        return self.log.dropped

@@ -38,6 +38,7 @@ import time
 from repro.engine.errors import EngineError
 from repro.engine.gc import WatermarkGC
 from repro.model.steps import Entity
+from repro.obs import NULL_TRACER
 from repro.planner.executor import (
     COMMITTED,
     LOGIC_ABORT,
@@ -61,11 +62,13 @@ class BatchPlanner:
         deterministic: bool = False,
         gc_enabled: bool = True,
         seed: int = 0,
+        tracer=NULL_TRACER,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        self.tracer = tracer
         #: one store shard per worker: planning partition p and the
         #: execution threads' fills both address shard-sliced state.
         self.store = ShardedMultiversionStore(n_workers, initial)
@@ -80,7 +83,11 @@ class BatchPlanner:
             batch_size=batch_size,
             deterministic=deterministic,
         )
-        self.gc = WatermarkGC(self.store) if gc_enabled else None
+        self.gc = (
+            WatermarkGC(self.store, tracer=tracer, trace_track="driver")
+            if gc_enabled
+            else None
+        )
         if self.gc is not None:
             self.metrics.engine.gc = self.gc.stats
         self.executor = PlanExecutor(self.store, n_workers, deterministic)
@@ -102,12 +109,22 @@ class BatchPlanner:
             raise EngineError("a BatchPlanner instance is single-use")
         self._ran = True
         engine = self.metrics.engine
+        if self.tracer.enabled and self.deterministic:
+            # The planner's tick counts admissions and settles and is
+            # identical across runs — the deterministic trace clock.
+            self.tracer.use_clock(lambda: engine.ticks)
         started = time.perf_counter()
         batch: list = []
         born: list[int] = []
+        tracing = self.tracer.enabled
         for item in stream:
             engine.ticks += 1
             engine.attempts += 1
+            if tracing:
+                self.tracer.instant(
+                    "txn", "txn.submit", "driver",
+                    txn=str(item[0].txn),
+                )
             batch.append(item)
             born.append(engine.ticks)
             if len(batch) >= self.batch_size:
@@ -123,6 +140,13 @@ class BatchPlanner:
     def _run_batch(self, items: list, born: list[int]) -> None:
         metrics = self.metrics
         engine = metrics.engine
+        tracing = self.tracer.enabled
+        batch_no = engine.epochs_closed
+        if tracing:
+            self.tracer.begin(
+                "plan", "plan.batch", "plan",
+                batch=batch_no, txns=len(items),
+            )
         plan = plan_batch(
             items,
             self.store,
@@ -143,10 +167,26 @@ class BatchPlanner:
                 else:
                     metrics.dependent_reads += 1
 
+        if tracing:
+            self.tracer.end(
+                "plan", "plan.batch", "plan",
+                batch=batch_no, txns=len(items),
+            )
+            self.tracer.begin(
+                "execute", "execute.batch", "execute", batch=batch_no,
+            )
         outcome = self.executor.execute(plan)
         verify_settled(plan, outcome)
         metrics.blocked_reads += outcome.blocked_reads
         engine.steps_submitted += outcome.steps_executed
+        if tracing:
+            self.tracer.end(
+                "execute", "execute.batch", "execute",
+                batch=batch_no, steps=outcome.steps_executed,
+            )
+            self.tracer.begin(
+                "settle", "settle.batch", "driver", batch=batch_no,
+            )
 
         # Settle: the group-commit fixpoint over the planned dependency
         # map must re-derive exactly the executed fates — logic aborts
@@ -165,14 +205,27 @@ class BatchPlanner:
         for ptxn, tick in zip(plan, born):
             if ptxn.txn in committed:
                 engine.committed += 1
-                engine.latency.record(engine.ticks - tick)
+                latency = engine.ticks - tick
+                engine.latency.record(latency)
+                if tracing:
+                    self.tracer.instant(
+                        "txn", "txn.commit", "driver",
+                        txn=str(ptxn.txn), latency=latency,
+                    )
                 continue
             if outcome.fates[ptxn.txn] == COMMITTED:  # pragma: no cover
                 raise EngineError("closure dropped an executed commit")
             if outcome.fates[ptxn.txn] == LOGIC_ABORT:
                 metrics.logic_aborted += 1
+                reason = "logic"
             else:
                 metrics.cascade_aborted += 1
+                reason = "cascade"
+            if tracing:
+                self.tracer.instant(
+                    "txn", "txn.abort", "driver",
+                    txn=str(ptxn.txn), reason=reason,
+                )
             for slot in ptxn.slots:
                 self.store.remove(slot)
         if self.store.placeholder_count():
@@ -184,3 +237,8 @@ class BatchPlanner:
         if self.gc is not None:
             self.gc.collect(self._next_position)
         engine.final_versions = self.store.version_count()
+        if tracing:
+            self.tracer.end(
+                "settle", "settle.batch", "driver",
+                batch=batch_no, committed=len(committed),
+            )

@@ -107,6 +107,29 @@ class PlannerMetrics:
             "engine": self.engine.as_dict(),
         }
 
+    def register_into(self, registry) -> None:
+        """Publish into a :class:`repro.obs.MetricsRegistry`.
+
+        ``planner.*`` names on top of the shared ``engine.*`` set (the
+        reused engine metrics register themselves, so the zero-abort
+        witness — ``engine.aborted.*`` all zero — rides along).
+        """
+        self.engine.register_into(registry)
+        registry.counter("planner.submitted", self.submitted)
+        registry.counter("planner.committed", self.committed)
+        registry.counter("planner.cc_aborts", self.cc_aborts)
+        registry.counter("planner.logic_aborted", self.logic_aborted)
+        registry.counter("planner.cascade_aborted", self.cascade_aborted)
+        registry.counter("planner.batches", self.batches)
+        registry.counter(
+            "planner.placeholders", self.placeholders_reserved
+        )
+        registry.counter("planner.reads.base", self.base_reads)
+        registry.counter("planner.reads.own", self.own_reads)
+        registry.counter("planner.reads.dependent", self.dependent_reads)
+        registry.counter("planner.commit_deps", self.commit_deps)
+        registry.counter("planner.blocked_reads", self.blocked_reads)
+
     def report(self) -> str:
         """A human-readable block for the CLI."""
         return "\n".join(self._report_lines())
@@ -172,6 +195,20 @@ class PipelineMetrics(PlannerMetrics):
     overlap_elapsed: float = 0.0
     #: batches whose planning ran concurrently with an execution window.
     batches_overlapped: int = 0
+
+    def register_into(self, registry) -> None:
+        """The planner set plus the pipeline's logical seam counters.
+
+        The wall-clock overlap fields stay out (same rule as ``elapsed``)
+        so deterministic telemetry matches the sequential planner's
+        except for the ``pipeline.*`` additions.
+        """
+        super().register_into(registry)
+        registry.gauge("pipeline.lookahead", self.lookahead)
+        registry.counter("pipeline.rebound_reads", self.rebound_reads)
+        registry.counter(
+            "pipeline.cross_batch_reads", self.cross_batch_reads
+        )
 
     def report(self) -> str:
         lines = self._report_lines()

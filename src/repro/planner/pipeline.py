@@ -69,6 +69,7 @@ from repro.engine.gc import WatermarkGC
 from repro.model.batching import BatchPlan, ReadBinding
 from repro.model.schedules import T_INIT
 from repro.model.steps import Entity
+from repro.obs import NULL_TRACER
 from repro.planner.executor import (
     COMMITTED,
     LOGIC_ABORT,
@@ -120,6 +121,7 @@ class PipelinedPlanner:
         deterministic: bool = False,
         gc_enabled: bool = True,
         seed: int = 0,
+        tracer=NULL_TRACER,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -141,7 +143,20 @@ class PipelinedPlanner:
             deterministic=deterministic,
             lookahead=lookahead,
         )
-        self.gc = WatermarkGC(self.store) if gc_enabled else None
+        self.tracer = tracer
+        if tracer.enabled and deterministic:
+            # The pipeline's admission/settle tick is shared with the
+            # sequential planner, so equal-seed deterministic traces are
+            # byte-identical.  Threaded runs keep the wall clock — the
+            # overlap between the plan and execute tracks is the point.
+            tracer.use_clock(lambda: self._tick)
+        #: batches planned so far (trace label for the plan track).
+        self._plan_seq = 0
+        self.gc = (
+            WatermarkGC(self.store, tracer=tracer, trace_track="driver")
+            if gc_enabled
+            else None
+        )
         if self.gc is not None:
             self.metrics.engine.gc = self.gc.stats
         #: inline timestamp-order execution; fills are shard-locked
@@ -263,17 +278,29 @@ class PipelinedPlanner:
 
     def _plan_one(self) -> _InFlight | None:
         engine = self.metrics.engine
+        tracing = self.tracer.enabled
         items: list = []
         born: list[int] = []
         for item in self._stream:
             self._tick += 1
             engine.attempts += 1
+            if tracing:
+                self.tracer.instant(
+                    "txn", "txn.submit", "driver", txn=str(item[0].txn),
+                )
             items.append(item)
             born.append(self._tick)
             if len(items) >= self.batch_size:
                 break
         if not items:
             return None
+        batch_no = self._plan_seq
+        self._plan_seq += 1
+        if tracing:
+            self.tracer.begin(
+                "plan", "plan.batch", "plan",
+                batch=batch_no, txns=len(items),
+            )
         self._tick += 1  # reserved for this batch's settle
         first_position = self._next_position
         if self.gc is not None:
@@ -317,16 +344,33 @@ class PipelinedPlanner:
                     metrics.own_reads += 1
                 else:
                     metrics.dependent_reads += 1
+        if tracing:
+            self.tracer.end(
+                "plan", "plan.batch", "plan",
+                batch=batch_no, slots=inflight.n_slots,
+            )
         return inflight
 
     # -- execution stage ---------------------------------------------------
 
     def _execute(self, head: _InFlight) -> None:
+        tracing = self.tracer.enabled
+        if tracing:
+            self.tracer.begin(
+                "execute", "execute.batch", "execute",
+                batch=self.metrics.engine.epochs_closed,
+            )
         outcome = self.executor.execute(head.plan)
         verify_settled(head.plan, outcome)
         self.metrics.blocked_reads += outcome.blocked_reads
         self.metrics.engine.steps_submitted += outcome.steps_executed
         head.outcome = outcome
+        if tracing:
+            self.tracer.end(
+                "execute", "execute.batch", "execute",
+                batch=self.metrics.engine.epochs_closed,
+                steps=outcome.steps_executed,
+            )
 
     # -- settle ------------------------------------------------------------
 
@@ -341,6 +385,12 @@ class PipelinedPlanner:
         metrics = self.metrics
         engine = metrics.engine
         outcome = head.outcome
+        tracing = self.tracer.enabled
+        if tracing:
+            self.tracer.begin(
+                "settle", "settle.batch", "driver",
+                batch=engine.epochs_closed,
+            )
         votes = {
             ptxn.txn: outcome.fates[ptxn.txn] == COMMITTED
             for ptxn in head.plan
@@ -359,12 +409,25 @@ class PipelinedPlanner:
         for ptxn, tick in zip(head.plan, head.born):
             if ptxn.txn in committed:
                 engine.committed += 1
-                engine.latency.record(head.settle_tick - tick)
+                latency = head.settle_tick - tick
+                engine.latency.record(latency)
+                if tracing:
+                    self.tracer.instant(
+                        "txn", "txn.commit", "driver",
+                        txn=str(ptxn.txn), latency=latency,
+                    )
                 continue
             if outcome.fates[ptxn.txn] == LOGIC_ABORT:
                 metrics.logic_aborted += 1
+                reason = "logic"
             else:
                 metrics.cascade_aborted += 1
+                reason = "cascade"
+            if tracing:
+                self.tracer.instant(
+                    "txn", "txn.abort", "driver",
+                    txn=str(ptxn.txn), reason=reason,
+                )
             for slot in ptxn.slots:
                 self.store.remove(slot)
                 removed.append(slot)
@@ -382,6 +445,12 @@ class PipelinedPlanner:
             self.gc.unpin(head.first_position)
             self.gc.collect(self._next_position)
         engine.final_versions = self.store.version_count()
+        if tracing:
+            self.tracer.end(
+                "settle", "settle.batch", "driver",
+                batch=engine.epochs_closed - 1,
+                committed=len(committed),
+            )
 
     def _rebind(self, inflight: _InFlight, slot) -> None:
         """Repair one in-flight plan after ``slot`` was removed.
@@ -406,3 +475,8 @@ class PipelinedPlanner:
             )
             ptxn.bindings = tuple(bindings)
             self.metrics.rebound_reads += 1
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "plan", "plan.rebind", "driver",
+                    txn=str(old.txn), entity=str(slot.entity),
+                )

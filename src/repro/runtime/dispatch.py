@@ -61,6 +61,7 @@ from repro.engine.factory import scheduler_factory
 from repro.engine.retry import RetryPolicy
 from repro.model.steps import Entity, TxnId
 from repro.model.transactions import Transaction
+from repro.obs import NULL_TRACER
 from repro.storage.executor import Program, write_value
 from repro.storage.sharded import ShardedMultiversionStore, shard_of
 from repro.runtime.group_commit import GroupCommitLog
@@ -136,6 +137,7 @@ class ShardRuntime:
         gc_enabled: bool = True,
         gc_every_commits: int = 32,
         cross_stride: int = 0,
+        tracer=NULL_TRACER,
     ) -> None:
         """``cross_stride`` caps coordinator transitions per cross-domain
         transaction per dispatcher round.  0 (the default) advances until
@@ -155,6 +157,12 @@ class ShardRuntime:
         self.plan = plan_domains(factory, n_workers)
         n_domains = self.plan.n_domains
         self.deterministic = deterministic
+        self.tracer = tracer
+        if tracer.enabled and deterministic:
+            # Deterministic dispatch is tick-driven: stamping events
+            # with the dispatcher round makes equal-seed traces
+            # byte-identical.  Threaded runs keep the wall clock.
+            tracer.use_clock(lambda: self.metrics.ticks)
         self.store = ShardedMultiversionStore(n_domains, initial)
         self.metrics = RuntimeMetrics(
             n_workers=n_workers,
@@ -172,6 +180,8 @@ class ShardRuntime:
                     gc_every_commits=gc_every_commits,
                     epoch_max_steps=epoch_max_steps,
                     hold_commits=True,
+                    tracer=tracer,
+                    trace_track=f"shard-{domain}",
                 )
                 self.workers.append(
                     ShardWorker(
@@ -190,6 +200,8 @@ class ShardRuntime:
                 gc_every_commits=gc_every_commits,
                 epoch_max_steps=epoch_max_steps,
                 hold_commits=True,
+                tracer=tracer,
+                trace_track="shard-0",
             )
             self.workers.append(
                 ShardWorker(
@@ -251,6 +263,11 @@ class ShardRuntime:
                         born_tick=self.metrics.ticks,
                     )
                     self.metrics.submitted += 1
+                    if self.tracer.enabled:
+                        self.tracer.instant(
+                            "txn", "txn.submit", "driver",
+                            txn=str(ticket.key),
+                        )
                     self._inflight.append(ticket)
                     self._launch(ticket)
                     progress += 1
@@ -416,6 +433,11 @@ class ShardRuntime:
 
     def _vote(self, ticket: TxnTicket) -> None:
         ticket.state = TicketState.BATCHED
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "2pc", "txn.vote", "driver",
+                txn=str(ticket.key), shards=len(ticket.worker_ids),
+            )
         self.group_commit.add(ticket)
 
     def _settle(self) -> int:
@@ -472,6 +494,11 @@ class ShardRuntime:
         worker inside the flush task.
         """
         self.metrics.aborted += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "txn", "txn.abort", "driver",
+                txn=str(ticket.key), reason=reason,
+            )
         if propagate:
             for domain, attempt in ticket.attempts.items():
                 self.workers[domain].post(
@@ -480,11 +507,22 @@ class ShardRuntime:
                 )
         if self.retry.exhausted(ticket.attempt_no):
             self.metrics.gave_up += 1
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "txn", "txn.gave-up", "driver",
+                    txn=str(ticket.key), attempts=ticket.attempt_no,
+                )
             ticket.state = TicketState.GAVE_UP
             self._inflight.remove(ticket)
             return
         self.metrics.retries += 1
         ticket.backoff_left = self.retry.delay(ticket.attempt_no, self.rng)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "txn", "txn.retry", "driver",
+                txn=str(ticket.key), attempt=ticket.attempt_no,
+                backoff=ticket.backoff_left,
+            )
         if ticket.backoff_left > 0:
             ticket.state = TicketState.BACKOFF
         else:
@@ -527,6 +565,11 @@ class ShardRuntime:
         candidates, dep_map = self.group_commit.plan(self._deps_of)
         if not candidates:
             return 0
+        if self.tracer.enabled:
+            self.tracer.begin(
+                "2pc", "2pc.flush", "driver",
+                batch=len(candidates), forced=forced,
+            )
         by_worker: dict[int, list[TxnTicket]] = {}
         for ticket in candidates:
             for domain in ticket.worker_ids:
@@ -567,13 +610,23 @@ class ShardRuntime:
         winners = [t for t in candidates if t.key in committed]
         losers = [t for t in candidates if t.key not in committed]
         self.group_commit.settle(winners, losers, forced=forced)
+        tracing = self.tracer.enabled
         for ticket in winners:
             ticket.state = TicketState.COMMITTED
             self.metrics.committed += 1
-            self.metrics.latency.record(
-                self.metrics.ticks - ticket.born_tick
-            )
+            latency = self.metrics.ticks - ticket.born_tick
+            self.metrics.latency.record(latency)
+            if tracing:
+                self.tracer.instant(
+                    "txn", "txn.commit", "driver",
+                    txn=str(ticket.key), latency=latency,
+                )
             self._inflight.remove(ticket)
         for ticket in losers:
             self._handle_abort(ticket, "flush-abort", propagate=False)
+        if tracing:
+            self.tracer.end(
+                "2pc", "2pc.flush", "driver",
+                committed=len(winners), aborted=len(losers),
+            )
         return len(candidates)

@@ -113,6 +113,35 @@ class RuntimeMetrics:
             "shard_stats": list(self.shard_stats),
         }
 
+    def register_into(self, registry) -> None:
+        """Publish into a :class:`repro.obs.MetricsRegistry`.
+
+        Dotted ``runtime.*`` names; wall-clock quantities stay out so
+        equal-seed deterministic telemetry is byte-identical.
+        """
+        registry.counter("runtime.submitted", self.submitted)
+        registry.counter("runtime.committed", self.committed)
+        registry.counter("runtime.aborted", self.aborted)
+        registry.counter("runtime.retries", self.retries)
+        registry.counter("runtime.gave_up", self.gave_up)
+        registry.counter("runtime.single_shard", self.single_shard)
+        registry.counter("runtime.cross_shard", self.cross_shard)
+        registry.gauge("runtime.ticks", self.ticks)
+        registry.gauge("runtime.workers", self.n_workers)
+        registry.gauge("runtime.domains", self.effective_domains)
+        registry.histogram("runtime.latency", self.latency.samples)
+        gc = self.group_commit
+        registry.counter("runtime.group_commit.batches", gc.batches)
+        registry.counter("runtime.group_commit.flushed", gc.flushed)
+        registry.counter("runtime.group_commit.held_over", gc.held_over)
+        registry.counter("runtime.group_commit.forced", gc.forced)
+        registry.counter(
+            "runtime.group_commit.flush_aborts", gc.flush_aborts
+        )
+        registry.gauge(
+            "runtime.group_commit.largest_batch", gc.largest_batch
+        )
+
     def report(self) -> str:
         """A human-readable block for the CLI.
 

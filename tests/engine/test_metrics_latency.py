@@ -27,12 +27,14 @@ class TestLatencyStats:
         assert stats.min == 1
         assert stats.max == 9
         assert stats.mean == 5.0
+        assert stats.p50 == 5
         assert stats.p95 == 9
 
-    def test_p95_nearest_rank(self):
+    def test_percentiles_nearest_rank(self):
         stats = LatencyStats()
         for sample in range(1, 101):  # 1..100
             stats.record(sample)
+        assert stats.p50 == 50
         assert stats.p95 == 95
         assert stats.min == 1 and stats.max == 100
 
@@ -40,7 +42,8 @@ class TestLatencyStats:
         stats = LatencyStats()
         stats.record(4)
         assert stats.as_dict() == {
-            "count": 1, "min": 4, "mean": 4.0, "p95": 4, "max": 4,
+            "count": 1, "min": 4, "p50": 4, "mean": 4.0, "p95": 4,
+            "max": 4,
         }
 
 

@@ -1,0 +1,101 @@
+"""JSONL round trip and the Chrome trace-viewer export."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Tracer,
+    read_jsonl,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def small_tracer():
+    tracer = Tracer()
+    tracer.use_clock(lambda: 1)
+    tracer.begin("plan", "plan.batch", "plan", batch=0)
+    tracer.end("plan", "plan.batch", "plan", batch=0)
+    tracer.instant("txn", "txn.commit", txn="T1", latency=3)
+    return tracer
+
+
+class TestJsonl:
+    def test_meta_header_then_one_line_per_event(self):
+        lines = to_jsonl(small_tracer()).splitlines()
+        assert json.loads(lines[0]) == {
+            "meta": "trace", "events": 3, "dropped": 0,
+        }
+        assert len(lines) == 4
+        event = json.loads(lines[3])
+        assert event["name"] == "txn.commit"
+        assert event["args"] == {"latency": 3, "txn": "T1"}
+
+    def test_round_trip(self, tmp_path):
+        tracer = small_tracer()
+        path = str(tmp_path / "t.jsonl")
+        write_jsonl(tracer, path)
+        meta, events = read_jsonl(path)
+        assert meta["events"] == 3 and meta["dropped"] == 0
+        assert [e.as_dict() for e in events] == [
+            e.as_dict() for e in tracer.events
+        ]
+
+    def test_meta_carries_drop_count(self):
+        tracer = Tracer(capacity=1)
+        tracer.use_clock(lambda: 0)
+        tracer.instant("t", "a")
+        tracer.instant("t", "b")
+        meta = json.loads(to_jsonl(tracer).splitlines()[0])
+        assert meta == {"meta": "trace", "events": 1, "dropped": 1}
+
+    def test_read_missing_file_is_value_error(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read trace"):
+            read_jsonl(str(tmp_path / "nope.jsonl"))
+
+    def test_read_empty_file_is_value_error(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_jsonl(str(path))
+
+    def test_read_non_json_is_value_error(self, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="not a JSONL trace"):
+            read_jsonl(str(path))
+
+    def test_read_without_meta_header_is_value_error(self, tmp_path):
+        path = tmp_path / "headless.jsonl"
+        path.write_text('{"ts":0}\n')
+        with pytest.raises(ValueError, match="meta header"):
+            read_jsonl(str(path))
+
+
+class TestChromeTrace:
+    def test_tracks_become_named_threads(self):
+        doc = to_chrome_trace(small_tracer().events)
+        names = {
+            e["args"]["name"]: e["tid"]
+            for e in doc["traceEvents"] if e["ph"] == "M"
+        }
+        assert set(names) == {"plan", "driver"}
+        spans = [e for e in doc["traceEvents"] if e["ph"] in ("B", "E")]
+        assert all(e["tid"] == names["plan"] for e in spans)
+
+    def test_instants_are_thread_scoped(self):
+        doc = to_chrome_trace(small_tracer().events)
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == 1
+        assert instants[0]["s"] == "t"
+
+    def test_write_is_valid_json(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        write_chrome_trace(small_tracer().events, path)
+        with open(path, encoding="utf-8") as source:
+            doc = json.load(source)
+        assert doc["displayTimeUnit"] == "ms"
+        assert len(doc["traceEvents"]) == 5  # 2 metadata + 3 events

@@ -1,0 +1,74 @@
+"""MetricsRegistry and the telemetry_view adapter."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, telemetry_view
+
+
+class TestInstruments:
+    def test_counter(self):
+        registry = MetricsRegistry()
+        c = registry.counter("engine.committed")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_cannot_decrease(self):
+        c = MetricsRegistry().counter("n")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_gauge(self):
+        g = MetricsRegistry().gauge("engine.ticks")
+        g.set(42)
+        assert g.value == 42
+
+    def test_histogram_uses_shared_summary(self):
+        h = MetricsRegistry().histogram("latency")
+        for sample in [5, 1, 9, 3, 7]:
+            h.record(sample)
+        assert h.summary() == {
+            "count": 5, "min": 1, "p50": 5, "mean": 5.0, "p95": 9,
+            "max": 9,
+        }
+
+
+class TestRegistry:
+    def test_duplicate_name_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+
+    def test_get_and_names_sorted(self):
+        registry = MetricsRegistry()
+        registry.gauge("b", 2)
+        counter = registry.counter("a", 1)
+        assert registry.get("a") is counter
+        assert registry.names() == ("a", "b")
+
+    def test_as_dict_sorted_and_typed(self):
+        registry = MetricsRegistry()
+        registry.counter("z.count", 3)
+        registry.counter("a.count", 1)
+        registry.gauge("level", 7)
+        registry.histogram("lat", [2, 4])
+        d = registry.as_dict()
+        assert list(d) == ["counters", "gauges", "histograms"]
+        assert list(d["counters"]) == ["a.count", "z.count"]
+        assert d["gauges"] == {"level": 7}
+        assert d["histograms"]["lat"]["count"] == 2
+
+
+class TestTelemetryView:
+    def test_duck_typed_register_into(self):
+        class Native:
+            def register_into(self, registry):
+                registry.counter("custom.hits", 9)
+
+        view = telemetry_view(Native())
+        assert view["counters"] == {"custom.hits": 9}
+
+    def test_object_without_register_into_yields_empty_view(self):
+        view = telemetry_view(object())
+        assert view == {"counters": {}, "gauges": {}, "histograms": {}}

@@ -1,0 +1,47 @@
+"""The shared nearest-rank percentile rule (repro.obs.stats)."""
+
+import pytest
+
+from repro.obs.stats import percentile, summarize_samples
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.95) == 0
+
+    def test_single_sample(self):
+        assert percentile([7], 0.5) == 7
+        assert percentile([7], 0.95) == 7
+
+    def test_nearest_rank_hundred(self):
+        samples = list(range(1, 101))
+        assert percentile(samples, 0.5) == 50
+        assert percentile(samples, 0.95) == 95
+        assert percentile(samples, 1.0) == 100
+
+    def test_unsorted_input(self):
+        assert percentile([9, 1, 5, 3, 7], 0.5) == 5
+
+    @pytest.mark.parametrize("q", [0.0, -0.1, 1.5])
+    def test_quantile_out_of_range(self, q):
+        with pytest.raises(ValueError):
+            percentile([1, 2, 3], q)
+
+
+class TestSummarizeSamples:
+    def test_empty_shape(self):
+        assert summarize_samples([]) == {
+            "count": 0, "min": 0, "p50": 0, "mean": 0.0, "p95": 0,
+            "max": 0,
+        }
+
+    def test_populated(self):
+        summary = summarize_samples([5, 1, 9, 3, 7])
+        assert summary == {
+            "count": 5, "min": 1, "p50": 5, "mean": 5.0, "p95": 9,
+            "max": 9,
+        }
+
+    def test_mean_rounded(self):
+        assert summarize_samples([1, 2])["mean"] == 1.5
+        assert summarize_samples([1, 1, 2])["mean"] == round(4 / 3, 3)

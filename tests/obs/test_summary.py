@@ -1,0 +1,86 @@
+"""Trace summarization: phase breakdown, track busy time, overlap."""
+
+from repro.obs import BEGIN, END, INSTANT, TraceEvent, format_summary, summarize
+
+
+def ev(ts, ph, name, track="driver", **args):
+    return TraceEvent(ts, ph, "test", name, track, args)
+
+
+class TestSummarize:
+    def test_empty(self):
+        summary = summarize([])
+        assert summary["events"] == 0
+        assert summary["span"] == 0
+        assert summary["phases"] == {}
+
+    def test_phase_durations_and_share(self):
+        events = [
+            ev(0, BEGIN, "plan.batch", "plan"),
+            ev(4, END, "plan.batch", "plan"),
+            ev(4, BEGIN, "execute.batch", "execute"),
+            ev(10, END, "execute.batch", "execute"),
+        ]
+        summary = summarize(events)
+        assert summary["span"] == 10
+        assert summary["phases"]["plan.batch"]["total"] == 4
+        assert summary["phases"]["execute.batch"]["total"] == 6
+        assert summary["phases"]["plan.batch"]["share"] == 0.4
+        assert summary["tracks"]["plan"]["busy"] == 4
+        assert summary["tracks"]["execute"]["utilization"] == 0.6
+
+    def test_nested_spans_not_double_counted(self):
+        events = [
+            ev(0, BEGIN, "outer"),
+            ev(1, BEGIN, "inner"),
+            ev(3, END, "inner"),
+            ev(10, END, "outer"),
+        ]
+        summary = summarize(events)
+        # Both phases report, but track busy time counts only the
+        # top-level span.
+        assert summary["phases"]["inner"]["total"] == 2
+        assert summary["phases"]["outer"]["total"] == 10
+        assert summary["tracks"]["driver"]["busy"] == 10
+
+    def test_unclosed_and_orphan_ends(self):
+        events = [
+            ev(0, BEGIN, "open"),          # never closed
+            ev(2, END, "ghost", "other"),  # begin was ring-dropped
+        ]
+        summary = summarize(events)
+        assert summary["unclosed_spans"] == 1
+        assert summary["phases"] == {}
+
+    def test_instant_counts(self):
+        events = [
+            ev(0, INSTANT, "txn.commit"),
+            ev(1, INSTANT, "txn.commit"),
+            ev(2, INSTANT, "txn.abort"),
+        ]
+        summary = summarize(events)
+        assert summary["instants"] == {"txn.abort": 1, "txn.commit": 2}
+
+
+class TestFormatSummary:
+    def test_overlap_line(self):
+        # Two tracks busy at the same time: busy 16 over a span of 10.
+        events = [
+            ev(0, BEGIN, "plan.batch", "plan"),
+            ev(8, END, "plan.batch", "plan"),
+            ev(2, BEGIN, "execute.batch", "execute"),
+            ev(10, END, "execute.batch", "execute"),
+        ]
+        text = format_summary(summarize(events))
+        assert "critical path 10  (busy 16, overlapped 6)" in text
+
+    def test_renders_all_sections(self):
+        events = [
+            ev(0, BEGIN, "plan.batch", "plan"),
+            ev(4, END, "plan.batch", "plan"),
+            ev(4, INSTANT, "txn.commit"),
+        ]
+        text = format_summary(summarize(events, dropped=2))
+        assert "events        3  (dropped 2, unclosed 0)" in text
+        assert "plan.batch" in text
+        assert "txn.commit 1" in text

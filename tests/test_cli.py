@@ -325,6 +325,69 @@ class TestRun:
         assert "invariant     ok" in out
 
 
+class TestTrace:
+    """`run --trace` and the `trace summarize` subcommand."""
+
+    def test_unwritable_trace_path_fails_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "run", "--trace", "/nonexistent-dir/t.jsonl",
+                "--txns", "5",
+            ])
+        assert excinfo.value.code == 2
+        assert "directory does not exist" in capsys.readouterr().err
+
+    def test_trace_then_summarize(self, capsys, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        assert main([
+            "run", "--mode", "planner", "--scenario", "bank",
+            "--txns", "40", "--deterministic", "--trace", path,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", path]) == 0
+        out = capsys.readouterr().out
+        assert "plan.batch" in out
+        assert "critical path" in out
+        assert "txn.commit" in out
+
+    def test_summarize_non_trace_is_usage_error(self, capsys, tmp_path):
+        path = tmp_path / "junk.txt"
+        path.write_text("hello\n")
+        assert main(["trace", "summarize", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_summarize_missing_file_is_usage_error(self, capsys):
+        assert main(["trace", "summarize", "/tmp/no-such-trace"]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_json_carries_telemetry_view(self, capsys):
+        assert main([
+            "run", "--mode", "serial", "--scenario", "bank",
+            "--txns", "30", "--json",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        telemetry = report["telemetry"]
+        assert set(telemetry) == {"counters", "gauges", "histograms"}
+        assert telemetry["counters"]["engine.committed"] == (
+            report["committed"]
+        )
+        assert "engine.latency" in telemetry["histograms"]
+
+    def test_traced_json_equals_untraced_json(self, capsys, tmp_path):
+        argv = [
+            "run", "--mode", "pipelined", "--scenario", "read-mostly",
+            "--workers", "2", "--txns", "40", "--deterministic",
+            "--json",
+        ]
+        assert main(argv) == 0
+        untraced = capsys.readouterr().out
+        assert main(
+            argv + ["--trace", str(tmp_path / "t.jsonl")]
+        ) == 0
+        traced = capsys.readouterr().out
+        assert untraced == traced
+
+
 class TestDeprecatedAliases:
     """`engine` / `runtime` / `planner` delegate to the Database API:
     one deprecation line on stderr, same RunReport as the equivalent
