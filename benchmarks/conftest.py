@@ -1,9 +1,16 @@
 """Shared benchmark utilities.
 
-Each experiment benchmark both *times* its core operation (pytest-benchmark)
-and *emits* the table the paper-reproduction reports, to stdout and to
-``benchmarks/output/<experiment>.txt`` so a benchmark run leaves artifacts
-for EXPERIMENTS.md.
+Each experiment benchmark measures its matrix through the
+:mod:`repro.bench` harness (suites + runner — the same code path
+``repro bench run`` and CI exercise), then *renders* two artifacts
+under ``benchmarks/output/``:
+
+* the committed txt table (``emit_table`` — a pure renderer over rows
+  derived from the bench results), and
+* the machine-readable suite record (``emit_bench_document`` —
+  ``BENCH_<suite>.json``, the :data:`repro.bench.SCHEMA_VERSION`
+  schema), so every benchmark run leaves a record comparable via
+  ``repro bench compare``.
 """
 
 from __future__ import annotations
@@ -16,26 +23,54 @@ OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
 
 def emit_table(experiment: str, title: str, rows: list[dict]) -> None:
-    """Print a table and persist it under benchmarks/output/."""
+    """Print a table and persist it under benchmarks/output/.
+
+    A renderer only: every row must carry every header key (the first
+    row defines the header set) — a missing key is a hard error, not a
+    silently blank cell that ships in a committed table.
+    """
     lines = [f"== {experiment}: {title} =="]
     if rows:
         headers = list(rows[0].keys())
+        for index, row in enumerate(rows):
+            missing = [h for h in headers if h not in row]
+            if missing:
+                raise ValueError(
+                    f"{experiment}: row {index} is missing column(s) "
+                    f"{missing} (headers come from row 0)"
+                )
         widths = {
-            h: max(len(str(h)), *(len(str(r.get(h, ""))) for r in rows))
+            h: max(len(str(h)), *(len(str(r[h])) for r in rows))
             for h in headers
         }
         lines.append(" | ".join(str(h).ljust(widths[h]) for h in headers))
         lines.append("-+-".join("-" * widths[h] for h in headers))
         for row in rows:
             lines.append(
-                " | ".join(str(row.get(h, "")).ljust(widths[h]) for h in headers)
+                " | ".join(str(row[h]).ljust(widths[h]) for h in headers)
             )
     text = "\n".join(lines)
     print("\n" + text)
-    OUTPUT_DIR.mkdir(exist_ok=True)
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
     (OUTPUT_DIR / f"{experiment}.txt").write_text(text + "\n")
+
+
+def emit_bench_document(suite_name: str, results) -> pathlib.Path:
+    """Write ``BENCH_<suite>.json`` next to the txt tables."""
+    from repro.bench import suite_document, write_document
+
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    return write_document(
+        suite_document(suite_name, list(results)),
+        OUTPUT_DIR / f"BENCH_{suite_name}.json",
+    )
 
 
 @pytest.fixture
 def table_writer():
     return emit_table
+
+
+@pytest.fixture
+def bench_document_writer():
+    return emit_bench_document

@@ -26,11 +26,15 @@ def test_bench_decider_scaling(benchmark, table_writer):
         {k: (round(v, 3) if isinstance(v, float) else v) for k, v in row.items()}
         for row in rows
     ]
+    # The exact deciders cut off at large sizes; emit_table refuses
+    # ragged rows, so declare the cutoff as an explicitly empty cell.
+    headers = list(fmt[0].keys())
+    fmt = [{h: row.get(h, "") for h in headers} for row in fmt]
     table_writer("E11_complexity", "decider runtime scaling (ms)", fmt)
     # Polynomial deciders stay usable at sizes where the exact ones were
     # already cut off.
     large = fmt[-1]
-    assert "vsr_ms" not in large
+    assert large["vsr_ms"] == ""
     assert large["mvcsr_ms"] < 1000
 
 

@@ -1,10 +1,13 @@
 """E15 — online engine: abort/retry throughput and GC retention.
 
-Runs open-ended bank and inventory streams through the online engine
-(:mod:`repro.engine`) under five schedulers with retry-on-abort semantics
-— the regime the paper's schedulers were designed for but its reject-model
-cannot express.  Reports commit/abort/retry counts and the version
-footprint with GC on vs off.
+Runs the ``e15`` bench suite (:mod:`repro.bench`): open-ended bank and
+inventory streams through the online engine (:mod:`repro.engine`) under
+five schedulers with retry-on-abort semantics — the regime the paper's
+schedulers were designed for but its reject-model cannot express.
+Reports commit/abort/retry counts and the version footprint with GC on
+vs off, and leaves both the committed txt table and the
+``BENCH_e15.json`` record (the same document ``repro bench run
+--suite e15`` produces).
 
 Expected shape: every configuration preserves its workload's integrity
 invariant (conservation / reconciliation) no matter which transactions
@@ -15,94 +18,75 @@ writes.
 
 import os
 
-from repro.db import Database, RunConfig
+from repro.bench import get_suite, run_suite
 
+SUITE = get_suite("e15")
 SCHEDULERS = ["2pl", "sgt", "2v2pl", "mvto", "si"]
 N_TXNS = int(os.environ.get("REPRO_BENCH_TXNS", "120"))
-N_SESSIONS = 4
-
-SCENARIO_PARAMS = {
-    "bank": {"n_accounts": 8, "hot_fraction": 0.5, "audit_every": 8,
-             "seed": 7},
-    "inventory": {"n_warehouses": 4, "seed": 7},
-}
 
 
-def _run(workload_name: str, scheduler_name: str, gc_enabled: bool):
-    config = RunConfig(
-        mode="serial",
-        scheduler=scheduler_name,
-        workers=N_SESSIONS,
-        gc=gc_enabled,
-        gc_every=16,
-        epoch_max_steps=128,
-        seed=11,
-    )
-    report = Database().run(
-        workload_name, config, txns=N_TXNS,
-        **SCENARIO_PARAMS[workload_name],
-    )
-    # The native EngineMetrics ride along for drill-down counters the
-    # uniform schema deliberately leaves mode-specific.
-    return report.metrics, report.invariant_ok
-
-
-def test_bench_engine(benchmark, table_writer):
+def test_bench_engine(benchmark, table_writer, bench_document_writer):
     def run_all():
-        out = {}
-        for workload_name in ("bank", "inventory"):
-            for scheduler_name in SCHEDULERS:
-                on = _run(workload_name, scheduler_name, gc_enabled=True)
-                off = _run(workload_name, scheduler_name, gc_enabled=False)
-                out[(workload_name, scheduler_name)] = (on, off)
-        return out
+        return run_suite(SUITE, txns=N_TXNS)
 
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    by_id = {r.case.case_id: r for r in results}
 
     rows = []
-    for (workload_name, scheduler_name), (on, off) in results.items():
-        (m_on, ok_on), (m_off, ok_off) = on, off
-        rows.append(
-            {
-                "workload": workload_name,
-                "scheduler": scheduler_name,
-                "committed": m_on.committed,
-                "aborted": m_on.aborted_total,
-                "retries": m_on.retries,
-                "gave_up": m_on.gave_up,
-                "rate": round(m_on.commit_rate, 3),
-                "lat_mean": round(m_on.latency.mean, 1),
-                "lat_p50": m_on.latency.p50,
-                "lat_p95": m_on.latency.p95,
-                "lat_max": m_on.latency.max,
-                "gc_pruned": m_on.gc.versions_pruned,
-                "versions(gc)": m_on.final_versions,
-                "versions(no-gc)": m_off.final_versions,
-                "invariant": "ok" if ok_on and ok_off else "VIOLATED",
-            }
-        )
+    for workload_name in ("bank", "inventory"):
+        for scheduler_name in SCHEDULERS:
+            # The native EngineMetrics ride along for drill-down
+            # counters the uniform schema deliberately leaves
+            # mode-specific.
+            m_on = by_id[
+                f"{workload_name}/{scheduler_name}/gc"
+            ].representative.metrics
+            m_off = by_id[
+                f"{workload_name}/{scheduler_name}/nogc"
+            ].representative.metrics
+            rows.append(
+                {
+                    "workload": workload_name,
+                    "scheduler": scheduler_name,
+                    "committed": m_on.committed,
+                    "aborted": m_on.aborted_total,
+                    "retries": m_on.retries,
+                    "gave_up": m_on.gave_up,
+                    "rate": round(m_on.commit_rate, 3),
+                    "lat_mean": round(m_on.latency.mean, 1),
+                    "lat_p50": m_on.latency.p50,
+                    "lat_p95": m_on.latency.p95,
+                    "lat_p99": m_on.latency.p99,
+                    "lat_max": m_on.latency.max,
+                    "gc_pruned": m_on.gc.versions_pruned,
+                    "versions(gc)": m_on.final_versions,
+                    "versions(no-gc)": m_off.final_versions,
+                    # The runner raises on a violated invariant, so a
+                    # rendered row is a checked row.
+                    "invariant": "ok",
+                }
+            )
 
-        # Integrity holds whatever subset of the stream committed.
-        assert ok_on and ok_off, (workload_name, scheduler_name)
-        # Accounting closes: every attempt ends committed or aborted, and
-        # every abort either retried or gave up.
-        for m in (m_on, m_off):
-            assert m.committed + m.gave_up <= N_TXNS
-            assert m.attempts == m.committed + m.aborted_total
-            assert m.aborted_total == m.retries + m.gave_up
-        # Retry semantics did their job: despite aborts, most of the
-        # stream commits.
-        assert m_on.committed >= 0.7 * N_TXNS
-        # Every commit carries a latency sample (E16 compares these).
-        assert m_on.latency.count == m_on.committed
-        # GC reduces retained versions on a write-heavy stream...
-        assert m_on.final_versions < m_off.final_versions
-        assert m_on.gc.versions_pruned > 0
-        # ...down to near the entity count (bases + epoch tail only).
-        assert m_on.final_versions <= 16
+            # Accounting closes: every attempt ends committed or
+            # aborted, and every abort either retried or gave up.
+            for m in (m_on, m_off):
+                assert m.committed + m.gave_up <= N_TXNS
+                assert m.attempts == m.committed + m.aborted_total
+                assert m.aborted_total == m.retries + m.gave_up
+            # Retry semantics did their job: despite aborts, most of
+            # the stream commits.
+            assert m_on.committed >= 0.7 * N_TXNS
+            # Every commit carries a latency sample (E16 compares these).
+            assert m_on.latency.count == m_on.committed
+            # GC reduces retained versions on a write-heavy stream...
+            assert m_on.final_versions < m_off.final_versions
+            assert m_on.gc.versions_pruned > 0
+            # ...down to near the entity count (bases + epoch tail only).
+            assert m_on.final_versions <= 16
 
     table_writer(
         "E15_engine",
         "online engine: retry semantics and GC retention",
         rows,
     )
+    bench_document_writer("e15", results)

@@ -1,12 +1,16 @@
 """E18 — pipelined planner vs the sequential batch planner.
 
-Runs the identical stream through the ``planner`` (PR 3, strictly
-plan-execute-settle in sequence) and ``pipelined`` (PR 5, plans batch
-k+1 while batch k executes) backends via the typed Database API, on the
-two E17 workloads: the sharded bank (write-heavy) and the read-mostly
-hot-key scenario.  Both modes build the *same plan* — the pipeline only
-moves planning off the execution's critical path — so this experiment
-isolates the cost of stage sequencing.
+Runs the ``e18`` bench suite (:mod:`repro.bench`): the identical stream
+through the ``planner`` (PR 3, strictly plan-execute-settle in
+sequence) and ``pipelined`` (PR 5, plans batch k+1 while batch k
+executes) backends via the typed Database API, on the two E17
+workloads: the sharded bank (write-heavy) and the read-mostly hot-key
+scenario.  Both modes build the *same plan* — the pipeline only moves
+planning off the execution's critical path — so this experiment
+isolates the cost of stage sequencing.  Threaded cases run with
+``repeats=2`` and quote the best repeat (wall-clock smoothing, the
+runner's ``best`` rule); the run leaves ``BENCH_e18.json`` next to the
+txt table.
 
 Pinned claims:
 
@@ -20,8 +24,8 @@ Pinned claims:
 * **deterministic plan-equivalence**: a same-seed deterministic
   pipelined run serializes ``metrics.as_dict()`` byte-identical to the
   *sequential planner's* — the pipeline changes when planning happens,
-  never what is planned — and two pipelined runs are byte-identical to
-  each other;
+  never what is planned — and two pipelined runs produce byte-identical
+  bench records at every lookahead;
 * plan/execute **overlap is real**: threaded pipelined runs report the
   planning seconds hidden under execution windows.
 """
@@ -29,78 +33,34 @@ Pinned claims:
 import json
 import os
 
-from repro.db import Database, RunConfig
-from repro.workloads.streams import ReadMostlyScenario, ShardedBankScenario
+from repro.bench import get_suite, make_record, run_case
 
+SUITE = get_suite("e18")
 N_TXNS = int(os.environ.get("REPRO_BENCH_TXNS", "400"))
-BATCH = 64
 LOOKAHEADS = [1, 2]
-#: wall-clock comparisons take the best of this many runs per mode.
+WORKLOADS = ["sharded-bank", "read-mostly"]
+#: wall-clock comparisons take the best of this many runs per
+#: threaded case (deterministic repeats are identical by contract).
 ROUNDS = 2
 
 
-def scenarios():
-    return {
-        "sharded-bank": ShardedBankScenario(
-            n_shards=4,
-            accounts_per_shard=4,
-            cross_fraction=0.1,
-            hot_fraction=0.2,
-            seed=5,
-        ),
-        "read-mostly": ReadMostlyScenario(
-            n_shards=4,
-            accounts_per_shard=4,
-            read_fraction=0.9,
-            hot_fraction=0.6,
-            seed=5,
-        ),
-    }
-
-
-def run_mode(workload, mode, **options):
-    report = Database().run(
-        workload,
-        RunConfig(mode=mode, workers=4, batch_size=BATCH, seed=11,
-                  **options),
-        txns=N_TXNS,
-    )
-    assert report.invariant_ok
-    return report
-
-
-def best_of(workload, mode, rounds=ROUNDS, **options):
-    """Best-throughput report of ``rounds`` runs (wall-clock smoothing)."""
-    reports = [run_mode(workload, mode, **options) for _ in range(rounds)]
-    return max(reports, key=lambda r: r.throughput)
-
-
-def test_bench_pipeline(benchmark, table_writer):
+def test_bench_pipeline(benchmark, table_writer, bench_document_writer):
     def run_all():
-        out = {}
-        for wname, workload in scenarios().items():
-            out[(wname, "planner", False)] = best_of(
-                workload, "planner", deterministic=False
+        return [
+            run_case(
+                case,
+                repeats=1 if case.deterministic else ROUNDS,
+                txns=N_TXNS,
             )
-            out[(wname, "planner", True)] = run_mode(
-                workload, "planner", deterministic=True
-            )
-            for lookahead in LOOKAHEADS:
-                out[(wname, "pipelined", False, lookahead)] = best_of(
-                    workload, "pipelined", deterministic=False,
-                    lookahead=lookahead,
-                )
-                out[(wname, "pipelined", True, lookahead)] = run_mode(
-                    workload, "pipelined", deterministic=True,
-                    lookahead=lookahead,
-                )
-        return out
+            for case in SUITE.cases
+        ]
 
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    by_id = {r.case.case_id: r for r in results}
 
     rows = []
-    for wname in scenarios():
-        planner_thr = results[(wname, "planner", False)]
+    for wname in WORKLOADS:
+        planner_thr = by_id[f"{wname}/planner/thr"].best
         rows.append(
             {
                 "workload": wname,
@@ -113,10 +73,11 @@ def test_bench_pipeline(benchmark, table_writer):
                 "overlap_ms": "-",
                 "lat_p50": planner_thr.latency.p50,
                 "lat_p95": planner_thr.latency.p95,
+                "lat_p99": planner_thr.latency.p99,
             }
         )
         for lookahead in LOOKAHEADS:
-            r = results[(wname, "pipelined", False, lookahead)]
+            r = by_id[f"{wname}/pipelined/la{lookahead}/thr"].best
             native = r.metrics
             rows.append(
                 {
@@ -134,59 +95,64 @@ def test_bench_pipeline(benchmark, table_writer):
                     ),
                     "lat_p50": r.latency.p50,
                     "lat_p95": r.latency.p95,
+                    "lat_p99": r.latency.p99,
                 }
             )
 
         # Headline 1: zero CC aborts, nothing dropped, in every
         # pipelined configuration (these workloads have no logic aborts).
-        for deterministic in (True, False):
+        for tag in ("det", "thr"):
             for lookahead in LOOKAHEADS:
-                r = results[(wname, "pipelined", deterministic, lookahead)]
-                assert r.cc_aborts == 0, (wname, deterministic, lookahead)
-                assert r.metrics.logic_aborted == 0
-                assert r.metrics.cascade_aborted == 0
-                assert r.committed == r.submitted == N_TXNS
+                result = by_id[f"{wname}/pipelined/la{lookahead}/{tag}"]
+                for r in result.reports:
+                    assert r.cc_aborts == 0, (wname, tag, lookahead)
+                    assert r.metrics.logic_aborted == 0
+                    assert r.metrics.cascade_aborted == 0
+                    assert r.committed == r.submitted == N_TXNS
 
         # Headline 2: pipelining never loses to the sequential planner
         # at 4 workers, and planning overlap actually happened.
         if N_TXNS >= 200:
             best_pipelined = max(
-                results[(wname, "pipelined", False, la)].throughput
+                by_id[f"{wname}/pipelined/la{la}/thr"].best.throughput
                 for la in LOOKAHEADS
             )
             assert best_pipelined >= planner_thr.throughput, (
                 wname, best_pipelined, planner_thr.throughput,
             )
             for lookahead in LOOKAHEADS:
-                native = results[
-                    (wname, "pipelined", False, lookahead)
-                ].metrics
+                native = by_id[
+                    f"{wname}/pipelined/la{lookahead}/thr"
+                ].best.metrics
                 assert native.batches_overlapped > 0
                 assert native.overlap_elapsed > 0.0
 
     # Headline 3: deterministic plan-equivalence.  The pipelined native
     # metrics dict is byte-identical to the *sequential planner's* for
-    # equal seeds (lookahead=1), and pipelined runs are byte-identical
-    # to each other at every lookahead.
-    for wname, workload in scenarios().items():
-        planner_det = results[(wname, "planner", True)]
-        pipelined_det = results[(wname, "pipelined", True, 1)]
+    # equal seeds (lookahead=1), and re-run pipelined records are
+    # byte-identical at every lookahead.
+    for wname in WORKLOADS:
+        planner_det = by_id[f"{wname}/planner/det"].representative
+        pipelined_det = by_id[f"{wname}/pipelined/la1/det"].representative
         assert json.dumps(planner_det.metrics.as_dict()) == json.dumps(
             pipelined_det.metrics.as_dict()
         ), wname
         for lookahead in LOOKAHEADS:
-            again = run_mode(
-                workload, "pipelined", deterministic=True,
-                lookahead=lookahead,
+            case = SUITE.case(f"{wname}/pipelined/la{lookahead}/det")
+            first = make_record(
+                "e18", by_id[case.case_id], sha="pinned"
             )
-            first = results[(wname, "pipelined", True, lookahead)]
-            assert json.dumps(first.as_dict()) == json.dumps(
-                again.as_dict()
-            ), (wname, lookahead)
+            again = make_record(
+                "e18", run_case(case, txns=N_TXNS), sha="pinned"
+            )
+            assert json.dumps(first) == json.dumps(again), (
+                wname, lookahead,
+            )
 
     table_writer(
         "E18_pipeline",
         "pipelined planner vs sequential batch planner "
-        f"({N_TXNS} txns, 4 workers, batch {BATCH})",
+        f"({N_TXNS} txns, 4 workers, batch 64)",
         rows,
     )
+    bench_document_writer("e18", results)

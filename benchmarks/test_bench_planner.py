@@ -1,14 +1,14 @@
 """E17 — abort-free batch planner vs the online execution modes.
 
-Runs the identical stream through all three execution modes via the
-typed Database API (:class:`repro.db.Database` over the backend
-registry) — serial engine (abort/retry),
-parallel shard runtime (group commit), batch planner (plan-then-execute)
-— on two workloads: the sharded bank scenario (E16's write-heavy
-baseline) and the read-mostly hot-key scenario, where nearly every
-transaction is a multi-key read racing a trickle of hot writes — the
-abort machine of the optimistic modes, and exactly the reads planning
-resolves for free.
+Runs the ``e17`` bench suite (:mod:`repro.bench`): the identical stream
+through all three execution modes via the typed Database API — serial
+engine (abort/retry), parallel shard runtime (group commit), batch
+planner (plan-then-execute) — on two workloads: the sharded bank
+scenario (E16's write-heavy baseline) and the read-mostly hot-key
+scenario, where nearly every transaction is a multi-key read racing a
+trickle of hot writes — the abort machine of the optimistic modes, and
+exactly the reads planning resolves for free.  The run leaves
+``BENCH_e17.json`` next to the txt table.
 
 Pinned claims:
 
@@ -18,80 +18,34 @@ Pinned claims:
   planner reuses and never touches);
 * planner throughput at 4 workers ≥ the serial engine's (wall-clock
   ratios disengage below 200 txns, where CI smoke noise swamps them);
-* two same-seed deterministic planner runs serialize byte-identical
-  ``metrics.as_dict()``.
+* two same-seed deterministic planner runs produce **byte-identical
+  bench records** (throughput is tick-based, so the whole record —
+  counters, latency percentiles, telemetry — is the contract).
 """
 
 import json
 import os
 
-from repro.db import Database, RunConfig
-from repro.workloads.streams import ReadMostlyScenario, ShardedBankScenario
+from repro.bench import get_suite, make_record, run_case, run_suite
 
+SUITE = get_suite("e17")
 N_TXNS = int(os.environ.get("REPRO_BENCH_TXNS", "400"))
 WORKER_COUNTS = [1, 2, 4]
-PLANNER_BATCH = 64
+WORKLOADS = ["sharded-bank", "read-mostly"]
 
 
-def scenarios():
-    return {
-        "sharded-bank": ShardedBankScenario(
-            n_shards=4,
-            accounts_per_shard=4,
-            cross_fraction=0.1,
-            hot_fraction=0.2,
-            seed=5,
-        ),
-        "read-mostly": ReadMostlyScenario(
-            n_shards=4,
-            accounts_per_shard=4,
-            read_fraction=0.9,
-            hot_fraction=0.6,
-            seed=5,
-        ),
-    }
-
-
-def run_mode(workload, mode, **options):
-    # The planner needs no scheduler (and RunConfig would reject one).
-    if mode != "planner":
-        options.setdefault("scheduler", "mvto")
-    report = Database().run(
-        workload,
-        RunConfig(mode=mode, seed=11, **options),
-        txns=N_TXNS,
-    )
-    assert report.invariant_ok
-    return report
-
-
-def test_bench_planner(benchmark, table_writer):
+def test_bench_planner(benchmark, table_writer, bench_document_writer):
     def run_all():
-        out = {}
-        for wname, workload in scenarios().items():
-            out[(wname, "serial")] = run_mode(workload, "serial", workers=4)
-            out[(wname, "parallel")] = run_mode(
-                workload, "parallel", workers=4, deterministic=True
-            )
-            for workers in WORKER_COUNTS:
-                for deterministic in (True, False):
-                    out[(wname, "planner", workers, deterministic)] = (
-                        run_mode(
-                            workload,
-                            "planner",
-                            workers=workers,
-                            batch_size=PLANNER_BATCH,
-                            deterministic=deterministic,
-                        )
-                    )
-        return out
+        return run_suite(SUITE, txns=N_TXNS)
 
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    by_id = {r.case.case_id: r for r in results}
+    report = {cid: r.representative for cid, r in by_id.items()}
 
     rows = []
-    for wname in scenarios():
-        serial = results[(wname, "serial")]
-        parallel = results[(wname, "parallel")]
+    for wname in WORKLOADS:
+        serial = report[f"{wname}/serial"]
+        parallel = report[f"{wname}/parallel-det"]
         rows.append(
             {
                 "workload": wname,
@@ -104,6 +58,7 @@ def test_bench_planner(benchmark, table_writer):
                 "lat_mean": round(serial.latency.mean, 1),
                 "lat_p50": serial.latency.p50,
                 "lat_p95": serial.latency.p95,
+                "lat_p99": serial.latency.p99,
             }
         )
         rows.append(
@@ -120,11 +75,12 @@ def test_bench_planner(benchmark, table_writer):
                 "lat_mean": round(parallel.latency.mean, 1),
                 "lat_p50": parallel.latency.p50,
                 "lat_p95": parallel.latency.p95,
+                "lat_p99": parallel.latency.p99,
             }
         )
         for workers in WORKER_COUNTS:
-            for deterministic in (True, False):
-                m = results[(wname, "planner", workers, deterministic)]
+            for tag, deterministic in (("det", True), ("thr", False)):
+                m = report[f"{wname}/planner/w{workers}/{tag}"]
                 rows.append(
                     {
                         "workload": wname,
@@ -141,6 +97,7 @@ def test_bench_planner(benchmark, table_writer):
                         "lat_mean": round(m.latency.mean, 1),
                         "lat_p50": m.latency.p50,
                         "lat_p95": m.latency.p95,
+                        "lat_p99": m.latency.p99,
                     }
                 )
 
@@ -148,9 +105,9 @@ def test_bench_planner(benchmark, table_writer):
         # every configuration, not just the headline one — and nothing
         # silently dropped (these workloads have no logic aborts).
         for workers in WORKER_COUNTS:
-            for deterministic in (True, False):
-                m = results[(wname, "planner", workers, deterministic)]
-                assert m.cc_aborts == 0, (wname, workers, deterministic)
+            for tag in ("det", "thr"):
+                m = report[f"{wname}/planner/w{workers}/{tag}"]
+                assert m.cc_aborts == 0, (wname, workers, tag)
                 native = m.metrics
                 assert native.logic_aborted == 0
                 assert native.cascade_aborted == 0
@@ -159,8 +116,8 @@ def test_bench_planner(benchmark, table_writer):
         # (wall-clock; disengaged at CI smoke sizes like E16).
         if N_TXNS >= 200:
             best_at_4 = max(
-                results[(wname, "planner", 4, det)].throughput
-                for det in (True, False)
+                report[f"{wname}/planner/w4/{tag}"].throughput
+                for tag in ("det", "thr")
             )
             assert best_at_4 >= serial.throughput, (
                 wname,
@@ -169,17 +126,17 @@ def test_bench_planner(benchmark, table_writer):
             )
 
     # Reproducibility: same seed, deterministic mode, byte-identical
-    # metrics dict — the planner's determinism contract.
-    for wname, workload in scenarios().items():
-        first = run_mode(
-            workload, "planner", workers=4, batch_size=PLANNER_BATCH,
-            deterministic=True,
+    # bench record — the planner's determinism contract, now pinned at
+    # the record level (what `repro bench compare` consumes).
+    for wname in WORKLOADS:
+        case = SUITE.case(f"{wname}/planner/w4/det")
+        first = make_record(
+            "e17", by_id[case.case_id], sha="pinned"
         )
-        again = run_mode(
-            workload, "planner", workers=4, batch_size=PLANNER_BATCH,
-            deterministic=True,
+        again = make_record(
+            "e17", run_case(case, txns=N_TXNS), sha="pinned"
         )
-        assert json.dumps(first.as_dict()) == json.dumps(again.as_dict())
+        assert json.dumps(first) == json.dumps(again), wname
 
     table_writer(
         "E17_planner",
@@ -187,3 +144,4 @@ def test_bench_planner(benchmark, table_writer):
         f"({N_TXNS} txns)",
         rows,
     )
+    bench_document_writer("e17", results)

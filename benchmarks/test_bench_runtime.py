@@ -1,12 +1,13 @@
 """E16 — parallel shard runtime: throughput vs workers and batch size.
 
-Runs the sharded bank scenario through the parallel runtime
-(:mod:`repro.runtime`) across worker counts and group-commit batch
-sizes, in deterministic and threaded mode, against the PR 1 serial
-engine (:mod:`repro.engine`) as baseline — same stream, same scheduler,
-same retry policy.  Both paths go through the typed Database API
-(:class:`repro.db.RunConfig` → :class:`repro.db.RunReport`), so the
-columns compared here are the guaranteed cross-mode schema.
+Runs the ``e16`` bench suite (:mod:`repro.bench`): the sharded bank
+scenario through the parallel runtime (:mod:`repro.runtime`) across
+worker counts and group-commit batch sizes, in deterministic and
+threaded mode, against the PR 1 serial engine (:mod:`repro.engine`) as
+baseline — same stream, same scheduler, same retry policy.  Both paths
+go through the typed Database API, so the columns compared here are the
+guaranteed cross-mode schema; the run also leaves ``BENCH_e16.json``
+(the ``repro bench run --suite e16 --wallclock`` document).
 
 Expected shape: the win comes from the execution model, not threads
 (the GIL serializes CPU-bound Python).  Whole-transaction tasks are
@@ -22,9 +23,9 @@ runs (below 200 txns the wall-clock ratio assert disengages).
 
 import os
 
-from repro.db import Database, RunConfig
-from repro.workloads.streams import ShardedBankScenario
+from repro.bench import get_suite, run_suite
 
+SUITE = get_suite("e16")
 N_TXNS = int(os.environ.get("REPRO_BENCH_TXNS", "400"))
 SCHEDULERS = ["mvto", "si"]
 WORKER_COUNTS = [1, 2, 4]
@@ -32,61 +33,18 @@ BATCH_SIZES = [1, 16]
 SPEEDUP_FLOOR = 1.5
 
 
-def scenario():
-    return ShardedBankScenario(
-        n_shards=4,
-        accounts_per_shard=4,
-        cross_fraction=0.1,
-        hot_fraction=0.2,
-        seed=5,
-    )
-
-
-def run_serial(workload, name):
-    report = Database().run(
-        workload,
-        RunConfig(
-            mode="serial", scheduler=name, workers=4,
-            epoch_max_steps=256, seed=11,
-        ),
-        txns=N_TXNS,
-    )
-    assert report.invariant_ok
-    return report
-
-
-def run_runtime(workload, name, workers, batch, deterministic):
-    report = Database().run(
-        workload,
-        RunConfig(
-            mode="parallel", scheduler=name, workers=workers,
-            batch_size=batch, deterministic=deterministic, seed=11,
-        ),
-        txns=N_TXNS,
-    )
-    assert report.invariant_ok
-    return report
-
-
-def test_bench_runtime(benchmark, table_writer):
+def test_bench_runtime(benchmark, table_writer, bench_document_writer):
     def run_all():
-        out = {}
-        for name in SCHEDULERS:
-            out[("serial", name)] = run_serial(scenario(), name)
-            for workers in WORKER_COUNTS:
-                for batch in BATCH_SIZES:
-                    for deterministic in (True, False):
-                        key = (name, workers, batch, deterministic)
-                        out[key] = run_runtime(
-                            scenario(), name, workers, batch, deterministic
-                        )
-        return out
+        return run_suite(SUITE, txns=N_TXNS)
 
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report = {
+        r.case.case_id: r.representative for r in results
+    }
 
     rows = []
     for name in SCHEDULERS:
-        serial = results[("serial", name)]
+        serial = report[f"serial/{name}"]
         rows.append(
             {
                 "scheduler": name,
@@ -100,12 +58,13 @@ def test_bench_runtime(benchmark, table_writer):
                 "lat_mean": round(serial.latency.mean, 1),
                 "lat_p50": serial.latency.p50,
                 "lat_p95": serial.latency.p95,
+                "lat_p99": serial.latency.p99,
             }
         )
         for workers in WORKER_COUNTS:
             for batch in BATCH_SIZES:
-                for deterministic in (True, False):
-                    m = results[(name, workers, batch, deterministic)]
+                for tag, deterministic in (("det", True), ("thr", False)):
+                    m = report[f"{name}/w{workers}/b{batch}/{tag}"]
                     rows.append(
                         {
                             "scheduler": name,
@@ -121,6 +80,7 @@ def test_bench_runtime(benchmark, table_writer):
                             "lat_mean": round(m.latency.mean, 1),
                             "lat_p50": m.latency.p50,
                             "lat_p95": m.latency.p95,
+                            "lat_p99": m.latency.p99,
                         }
                     )
 
@@ -133,9 +93,9 @@ def test_bench_runtime(benchmark, table_writer):
         # gating on it.
         if N_TXNS >= 200:
             best_at_4 = max(
-                results[(name, 4, batch, det)].throughput
+                report[f"{name}/w4/b{batch}/{tag}"].throughput
                 for batch in BATCH_SIZES
-                for det in (True, False)
+                for tag in ("det", "thr")
             )
             assert best_at_4 >= SPEEDUP_FLOOR * serial.throughput, (
                 name,
@@ -144,7 +104,7 @@ def test_bench_runtime(benchmark, table_writer):
             )
         # Nothing silently dropped in the headline configurations.
         for batch in BATCH_SIZES:
-            m = results[(name, 4, batch, True)]
+            m = report[f"{name}/w4/b{batch}/det"]
             assert m.committed + m.gave_up == m.submitted
 
     table_writer(
@@ -153,3 +113,4 @@ def test_bench_runtime(benchmark, table_writer):
         f"({N_TXNS} txns, sharded bank)",
         rows,
     )
+    bench_document_writer("e16", results)

@@ -14,6 +14,9 @@
     python -m repro run --mode pipelined --scenario read-mostly --lookahead 2
     python -m repro run --list-modes
     python -m repro run --list-scenarios
+    python -m repro bench list
+    python -m repro bench run --suite e17 --json out.json
+    python -m repro bench compare baseline.json out.json --max-regress 0.1
 
 ``run`` is the single execution entry point, built on the typed
 Database API (:mod:`repro.db`): ``--mode`` picks the execution backend,
@@ -366,6 +369,91 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
 
 
+# -- the benchmark observatory (repro.bench) -------------------------------
+
+
+def cmd_bench_list(args: argparse.Namespace) -> int:
+    from repro.bench import get_suite, suite_names
+
+    if args.suite is not None:
+        suite = get_suite(args.suite)
+        print(f"{suite.name}: {suite.description}")
+        for case in suite.cases:
+            tag = "det" if case.deterministic else "wall"
+            print(
+                f"  {case.case_id:<28} [{tag}] "
+                f"{case.scenario} x{case.txns}"
+            )
+        return 0
+    for name in suite_names():
+        suite = get_suite(name)
+        n_det = len(suite.deterministic_cases())
+        print(
+            f"  {name:>6}: {len(suite.cases)} cases "
+            f"({n_det} deterministic) — {suite.description}"
+        )
+    return 0
+
+
+def cmd_bench_run(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        get_suite,
+        run_suite,
+        suite_document,
+        write_document,
+    )
+
+    suite = get_suite(args.suite)
+
+    def progress(result) -> None:
+        tp = result.throughput_summary()
+        print(
+            f"  {result.case.case_id:<28} "
+            f"{tp['median']:g} {tp['unit']}"
+            + (f"  (cv {tp['cv']:g})" if result.repeats > 1 else "")
+        )
+
+    # Deterministic-only is the default: those records are byte-stable
+    # and machine-comparable, which is what a stored baseline needs.
+    # --wallclock opts the threaded cases (and runner noise) in.
+    results = run_suite(
+        suite,
+        repeats=args.repeats,
+        warmup=args.warmup,
+        txns=args.txns,
+        deterministic_only=not args.wallclock,
+        progress=progress,
+    )
+    if not results:
+        print(
+            f"error: suite {suite.name!r} has no deterministic cases; "
+            "re-run with --wallclock",
+            file=sys.stderr,
+        )
+        return 2
+    path = args.json or f"BENCH_{suite.name}.json"
+    write_document(suite_document(suite.name, results), path)
+    print(f"{len(results)} record(s) -> {path}")
+    return 0
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        compare_documents,
+        comparison_ok,
+        format_comparison,
+        load_document,
+    )
+
+    baseline = load_document(args.baseline)
+    candidate = load_document(args.candidate)
+    rows = compare_documents(
+        baseline, candidate, max_regress=args.max_regress
+    )
+    print(format_comparison(rows, max_regress=args.max_regress))
+    return 0 if comparison_ok(rows) else 1
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import format_summary, read_jsonl, summarize
 
@@ -643,6 +731,51 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="PATH",
                    help="write a JSONL execution trace to PATH")
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark observatory: run suites, record, gate "
+             "regressions (repro.bench)",
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+    p = bench_sub.add_parser(
+        "list", help="registered suites (or one suite's cases)"
+    )
+    p.add_argument("--suite", default=None,
+                   help="show this suite's cases instead")
+    p.set_defaults(func=cmd_bench_list)
+    p = bench_sub.add_parser(
+        "run",
+        help="measure a suite and write its BENCH_<suite>.json record",
+    )
+    p.add_argument("--suite", required=True,
+                   help="suite name (see 'repro bench list')")
+    p.add_argument("--repeats", type=_positive_int, default=1,
+                   help="kept measurement runs per case")
+    p.add_argument("--warmup", type=_nonnegative_int, default=0,
+                   help="discarded warm-up runs per case")
+    p.add_argument("--txns", type=_positive_int, default=None,
+                   help="override every case's stream length "
+                        "(smoke sizes)")
+    p.add_argument("--json", type=_writable_path, default=None,
+                   metavar="PATH",
+                   help="record path (default: BENCH_<suite>.json)")
+    p.add_argument("--wallclock", action="store_true",
+                   help="also run threaded cases (wall-clock records "
+                        "are not byte-stable)")
+    p.set_defaults(func=cmd_bench_run)
+    p = bench_sub.add_parser(
+        "compare",
+        help="gate a candidate record against a baseline "
+             "(nonzero exit on regression)",
+    )
+    p.add_argument("baseline", help="baseline BENCH json")
+    p.add_argument("candidate", help="candidate BENCH json")
+    p.add_argument("--max-regress", type=_fraction, default=0.1,
+                   metavar="FRAC",
+                   help="allowed per-case median throughput drop "
+                        "(fraction, default 0.1)")
+    p.set_defaults(func=cmd_bench_compare)
 
     p = sub.add_parser(
         "trace",

@@ -49,6 +49,11 @@ class LatencyStats:
         """95th percentile (nearest-rank, same shared rule)."""
         return percentile(self.samples, 0.95) if self.samples else 0
 
+    @property
+    def p99(self) -> int:
+        """99th percentile (nearest-rank, same shared rule)."""
+        return percentile(self.samples, 0.99) if self.samples else 0
+
     def as_dict(self) -> dict:
         # The one histogram shape every telemetry surface serializes to.
         return summarize_samples(self.samples)
@@ -58,7 +63,7 @@ class LatencyStats:
             return "no samples"
         return (
             f"min {self.min}, p50 {self.p50}, mean {self.mean:.1f}, "
-            f"p95 {self.p95}, max {self.max} ticks"
+            f"p95 {self.p95}, p99 {self.p99}, max {self.max} ticks"
         )
 
 

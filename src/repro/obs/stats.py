@@ -3,8 +3,9 @@
 Before this module each metrics class hand-rolled its percentile
 (``LatencyStats.p95`` owned the only copy, and every new histogram was
 about to grow another).  One definition of the nearest-rank rule keeps
-``p50``/``p95`` identical wherever they are reported — engine latency,
-registry histograms, trace summaries, E-benchmark columns.
+``p50``/``p95``/``p99`` identical wherever they are reported — engine
+latency, registry histograms, trace summaries, E-benchmark columns,
+bench records.
 """
 
 from __future__ import annotations
@@ -30,14 +31,16 @@ def percentile(samples: Sequence[int | float], q: float) -> int | float:
 
 
 def summarize_samples(samples: Sequence[int | float]) -> dict:
-    """The uniform histogram summary: count/min/p50/mean/p95/max.
+    """The uniform histogram summary: count/min/p50/mean/p95/p99/max.
 
     The one shape every histogram-valued telemetry entry serializes to
-    (registry histograms and ``LatencyStats.as_dict`` agree on it).
+    (registry histograms, ``LatencyStats.as_dict``, trace-phase rows and
+    bench records all agree on it).
     """
     if not samples:
         return {
-            "count": 0, "min": 0, "p50": 0, "mean": 0.0, "p95": 0, "max": 0,
+            "count": 0, "min": 0, "p50": 0, "mean": 0.0, "p95": 0,
+            "p99": 0, "max": 0,
         }
     return {
         "count": len(samples),
@@ -45,5 +48,6 @@ def summarize_samples(samples: Sequence[int | float]) -> dict:
         "p50": percentile(samples, 0.50),
         "mean": round(sum(samples) / len(samples), 3),
         "p95": percentile(samples, 0.95),
+        "p99": percentile(samples, 0.99),
         "max": max(samples),
     }

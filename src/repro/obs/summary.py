@@ -95,11 +95,11 @@ def format_summary(summary: dict) -> str:
     ]
     if summary["phases"]:
         lines.append("phase            count      total       mean"
-                     "        p95      share")
+                     "        p95        p99      share")
         for name, row in summary["phases"].items():
             lines.append(
                 f"  {name:<14} {row['count']:>5} {row['total']:>10}"
-                f" {row['mean']:>10} {row['p95']:>10}"
+                f" {row['mean']:>10} {row['p95']:>10} {row['p99']:>10}"
                 f" {row['share']:>9.1%}"
             )
     if summary["tracks"]:

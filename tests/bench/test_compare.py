@@ -1,0 +1,114 @@
+"""The regression gate: verdicts, edge cases, exit-code rule."""
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_VERSION,
+    compare_documents,
+    comparison_ok,
+    format_comparison,
+)
+
+
+def doc(*cases):
+    """A minimal bench document: (case_id, median[, unit]) tuples."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": "t",
+        "records": [
+            {
+                "case": case_id,
+                "throughput": {
+                    "unit": rest[0] if rest else "txn/tick",
+                    "median": median,
+                },
+            }
+            for case_id, median, *rest in cases
+        ],
+    }
+
+
+def verdicts(rows):
+    return {row["case"]: row["verdict"] for row in rows}
+
+
+class TestVerdicts:
+    def test_neutral_improvement_regression(self):
+        rows = compare_documents(
+            doc(("same", 10.0), ("up", 10.0), ("down", 10.0)),
+            doc(("same", 10.0), ("up", 12.0), ("down", 8.0)),
+            max_regress=0.1,
+        )
+        assert verdicts(rows) == {
+            "same": "neutral", "up": "improvement", "down": "regression",
+        }
+        assert not comparison_ok(rows)
+
+    def test_threshold_boundary_is_neutral(self):
+        # Exactly baseline × (1 − max_regress): not crossed, not failed.
+        rows = compare_documents(
+            doc(("edge", 10.0)), doc(("edge", 9.0)), max_regress=0.1
+        )
+        assert verdicts(rows) == {"edge": "neutral"}
+        assert comparison_ok(rows)
+        # One tick below the boundary fails.
+        rows = compare_documents(
+            doc(("edge", 10.0)), doc(("edge", 8.999)), max_regress=0.1
+        )
+        assert verdicts(rows) == {"edge": "regression"}
+
+    def test_zero_baseline_never_regresses(self):
+        rows = compare_documents(
+            doc(("z", 0.0)), doc(("z", 5.0)), max_regress=0.1
+        )
+        assert verdicts(rows) == {"z": "zero-baseline"}
+        assert rows[0]["ratio"] is None
+        assert comparison_ok(rows)
+
+    def test_missing_case_fails_the_gate(self):
+        rows = compare_documents(doc(("gone", 10.0)), doc())
+        assert verdicts(rows) == {"gone": "missing"}
+        assert rows[0]["candidate"] is None
+        assert not comparison_ok(rows)
+
+    def test_new_case_is_reported_but_never_fails(self):
+        rows = compare_documents(doc(), doc(("fresh", 3.0)))
+        assert verdicts(rows) == {"fresh": "new"}
+        assert comparison_ok(rows)
+
+    def test_unit_mismatch_fails_the_gate(self):
+        rows = compare_documents(
+            doc(("c", 10.0, "txn/tick")), doc(("c", 10.0, "txn/s"))
+        )
+        assert verdicts(rows) == {"c": "unit-mismatch"}
+        assert not comparison_ok(rows)
+
+    def test_rows_follow_baseline_order_new_last(self):
+        rows = compare_documents(
+            doc(("a", 1.0), ("b", 1.0)),
+            doc(("b", 1.0), ("n", 1.0), ("a", 1.0)),
+        )
+        assert [r["case"] for r in rows] == ["a", "b", "n"]
+
+    def test_max_regress_validated(self):
+        for bad in (-0.1, 1.0, 2.0):
+            with pytest.raises(ValueError, match="max_regress"):
+                compare_documents(doc(), doc(), max_regress=bad)
+
+
+class TestFormat:
+    def test_table_and_gate_line(self):
+        rows = compare_documents(
+            doc(("ok", 10.0), ("bad", 10.0)),
+            doc(("ok", 10.0), ("bad", 1.0)),
+            max_regress=0.1,
+        )
+        text = format_comparison(rows, max_regress=0.1)
+        assert "1 neutral" in text and "1 regression" in text
+        assert text.strip().endswith("FAILED")
+        assert "[txn/tick]" in text
+
+    def test_clean_comparison_says_ok(self):
+        rows = compare_documents(doc(("c", 2.0)), doc(("c", 2.0)))
+        text = format_comparison(rows, max_regress=0.1)
+        assert text.strip().endswith("ok")

@@ -46,7 +46,7 @@ def test_docs_exist_and_carry_snippets():
     names = {p.name for p in doc_files()}
     assert {
         "README.md", "paper-map.md", "backend-authors.md",
-        "execution-modes.md", "observability.md",
+        "execution-modes.md", "observability.md", "benchmarks.md",
     } <= names
     assert len(snippets()) >= 5
 

@@ -29,6 +29,7 @@ class TestLatencyStats:
         assert stats.mean == 5.0
         assert stats.p50 == 5
         assert stats.p95 == 9
+        assert stats.p99 == 9
 
     def test_percentiles_nearest_rank(self):
         stats = LatencyStats()
@@ -36,6 +37,7 @@ class TestLatencyStats:
             stats.record(sample)
         assert stats.p50 == 50
         assert stats.p95 == 95
+        assert stats.p99 == 99
         assert stats.min == 1 and stats.max == 100
 
     def test_as_dict_fields(self):
@@ -43,7 +45,7 @@ class TestLatencyStats:
         stats.record(4)
         assert stats.as_dict() == {
             "count": 1, "min": 4, "p50": 4, "mean": 4.0, "p95": 4,
-            "max": 4,
+            "p99": 4, "max": 4,
         }
 
 

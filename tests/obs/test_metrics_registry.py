@@ -29,7 +29,7 @@ class TestInstruments:
             h.record(sample)
         assert h.summary() == {
             "count": 5, "min": 1, "p50": 5, "mean": 5.0, "p95": 9,
-            "max": 9,
+            "p99": 9, "max": 9,
         }
 
 

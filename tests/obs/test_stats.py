@@ -32,15 +32,20 @@ class TestSummarizeSamples:
     def test_empty_shape(self):
         assert summarize_samples([]) == {
             "count": 0, "min": 0, "p50": 0, "mean": 0.0, "p95": 0,
-            "max": 0,
+            "p99": 0, "max": 0,
         }
 
     def test_populated(self):
         summary = summarize_samples([5, 1, 9, 3, 7])
         assert summary == {
             "count": 5, "min": 1, "p50": 5, "mean": 5.0, "p95": 9,
-            "max": 9,
+            "p99": 9, "max": 9,
         }
+
+    def test_p99_separates_from_p95_at_scale(self):
+        summary = summarize_samples(list(range(1, 101)))
+        assert summary["p95"] == 95
+        assert summary["p99"] == 99
 
     def test_mean_rounded(self):
         assert summarize_samples([1, 2])["mean"] == 1.5

@@ -388,6 +388,94 @@ class TestTrace:
         assert untraced == traced
 
 
+class TestBench:
+    """The `bench` subcommands: list, run, compare (the CI gate)."""
+
+    def test_list_shows_registered_suites(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("e15", "e16", "e17", "e18", "smoke"):
+            assert name in out
+
+    def test_list_one_suite_shows_cases(self, capsys):
+        assert main(["bench", "list", "--suite", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "bank/serial" in out
+        assert "read-mostly/pipelined-det" in out
+
+    def test_unknown_suite_is_usage_error(self, capsys):
+        assert main(["bench", "list", "--suite", "nope"]) == 2
+        assert "unknown bench suite" in capsys.readouterr().err
+
+    def test_run_writes_byte_identical_records(self, capsys, tmp_path):
+        """The acceptance contract: two equal-seed deterministic runs
+        of the same suite serialize byte-for-byte identically."""
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        for path in (first, second):
+            assert main([
+                "bench", "run", "--suite", "smoke", "--txns", "12",
+                "--json", str(path),
+            ]) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+        document = json.loads(first.read_text())
+        assert document["schema"] == "repro.bench/v1"
+        assert len(document["records"]) == 4
+
+    def test_run_default_path_is_bench_suite_json(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert main([
+            "bench", "run", "--suite", "smoke", "--txns", "12",
+        ]) == 0
+        assert "BENCH_smoke.json" in capsys.readouterr().out
+        assert (tmp_path / "BENCH_smoke.json").exists()
+
+    def test_compare_gates_regressions(self, capsys, tmp_path):
+        base = tmp_path / "base.json"
+        cand = tmp_path / "cand.json"
+        assert main([
+            "bench", "run", "--suite", "smoke", "--txns", "12",
+            "--json", str(base),
+        ]) == 0
+        # Same checkout, same seed: every case at ratio 1.0 — exit 0.
+        assert main([
+            "bench", "run", "--suite", "smoke", "--txns", "12",
+            "--json", str(cand),
+        ]) == 0
+        assert main([
+            "bench", "compare", str(base), str(cand),
+            "--max-regress", "0.1",
+        ]) == 0
+        assert "-> ok" in capsys.readouterr().out
+        # Halve one candidate median: regression — exit 1.
+        document = json.loads(cand.read_text())
+        document["records"][0]["throughput"]["median"] /= 2
+        cand.write_text(json.dumps(document))
+        assert main([
+            "bench", "compare", str(base), str(cand),
+            "--max-regress", "0.1",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "regression" in out and "FAILED" in out
+
+    def test_compare_missing_baseline_is_usage_error(
+        self, capsys, tmp_path
+    ):
+        assert main([
+            "bench", "compare", str(tmp_path / "absent.json"),
+            str(tmp_path / "also-absent.json"),
+        ]) == 2
+        assert "no bench document" in capsys.readouterr().err
+
+    def test_bad_max_regress_rejected_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "compare", "a", "b", "--max-regress", "2"])
+        assert excinfo.value.code == 2
+
+
 class TestDeprecatedAliases:
     """`engine` / `runtime` / `planner` delegate to the Database API:
     one deprecation line on stderr, same RunReport as the equivalent
