@@ -1,0 +1,82 @@
+"""`AuditReport`: the audit verdict as a byte-stable record.
+
+Mirrors the repo's other machine-readable surfaces (trace JSONL, bench
+records): fixed key order, compact separators, nothing wall-clock —
+so equal-seed deterministic runs produce byte-identical reports, and a
+committed report diffs cleanly against a re-audit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.audit.violations import Violation
+
+
+def _dump(obj) -> str:
+    return json.dumps(obj, separators=(",", ":"), sort_keys=False)
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """What the auditor concluded about one trace."""
+
+    ok: bool
+    #: events fed to the reconstructor (every event, not just data ops).
+    events: int
+    #: ring-buffer drops reported for the stream; > 0 voids the audit.
+    dropped: int
+    #: tracks that carried data operations.
+    tracks: int
+    #: segments (epochs/batches) reconstructed.
+    segments: int
+    #: segments that passed 1-SR polygraph certification.
+    certified: int
+    #: committed attempts whose data ops entered a schedule.
+    committed_attempts: int
+    reads: int
+    writes: int
+    violations: tuple[Violation, ...]
+
+    def as_dict(self) -> dict:
+        """Fixed key order (declaration order) — byte-stable JSON."""
+        return {
+            "meta": "audit",
+            "ok": self.ok,
+            "events": self.events,
+            "dropped": self.dropped,
+            "tracks": self.tracks,
+            "segments": self.segments,
+            "certified": self.certified,
+            "committed_attempts": self.committed_attempts,
+            "reads": self.reads,
+            "writes": self.writes,
+            "violations": [v.as_dict() for v in self.violations],
+        }
+
+    def as_json(self) -> str:
+        return _dump(self.as_dict())
+
+    def format(self) -> str:
+        """The CLI's human block: verdict first, violations itemized."""
+        verdict = (
+            "CERTIFIED: 1-serializable"
+            if self.ok
+            else f"VIOLATED: {len(self.violations)} violation(s)"
+        )
+        lines = [
+            f"audit         {verdict}",
+            f"segments      {self.segments}  "
+            f"(certified {self.certified}, tracks {self.tracks})",
+            f"operations    {self.reads} reads, {self.writes} writes, "
+            f"{self.committed_attempts} committed attempts",
+            f"events        {self.events}  (dropped {self.dropped})",
+        ]
+        for v in self.violations:
+            where = (
+                f"{v.track}#{v.segment}" if v.segment >= 0 else "<stream>"
+            )
+            who = f" txn={v.txn}" if v.txn else ""
+            lines.append(f"  {v.code:<20} {where}{who}: {v.detail}")
+        return "\n".join(lines)

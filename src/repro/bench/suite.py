@@ -314,6 +314,45 @@ def _smoke_cases() -> tuple[BenchCase, ...]:
     )
 
 
+def _audit_cases() -> tuple[BenchCase, ...]:
+    """Plain vs continuously-verified pairs, one per execution mode.
+
+    Measures the cost of ``audit=True`` (which traces internally and
+    certifies every epoch online) against the plain run.  Deterministic
+    throughput is tick-based and the auditor consumes no ticks, so the
+    *logical* overhead gates at exactly zero; the pairs still matter
+    for ``--wallclock`` runs and for keeping the audited path exercised
+    under the bench runner.  The traced-only vs traced+audited
+    wall-clock comparison lives in ``benchmarks/test_bench_audit.py``
+    (declarative cases cannot carry a live ``Tracer``).
+    """
+    configs = {
+        "serial": {"mode": "serial", "scheduler": "mvto", "workers": 4,
+                   "seed": 11},
+        "parallel": {"mode": "parallel", "scheduler": "mvto",
+                     "workers": 4, "deterministic": True, "seed": 11},
+        "planner": {"mode": "planner", "workers": 4, "batch_size": 64,
+                    "deterministic": True, "seed": 11},
+        "pipelined": {"mode": "pipelined", "workers": 4,
+                      "batch_size": 64, "lookahead": 2,
+                      "deterministic": True, "seed": 11},
+    }
+    cases = []
+    for mode, config in configs.items():
+        for tag, audited in (("plain", False), ("audited", True)):
+            case_config = dict(config)
+            if audited:
+                case_config["audit"] = True
+            cases.append(BenchCase(
+                case_id=f"sharded-bank/{mode}/{tag}",
+                scenario="sharded-bank",
+                scenario_params=_SHARDED_BANK,
+                config=case_config,
+                txns=120,
+            ))
+    return tuple(cases)
+
+
 register_suite(BenchSuite(
     name="e15",
     description=(
@@ -353,4 +392,12 @@ register_suite(BenchSuite(
         "mode, tick-based throughput vs the committed baseline"
     ),
     cases=_smoke_cases(),
+))
+register_suite(BenchSuite(
+    name="audit",
+    description=(
+        "continuous-verification overhead: plain vs audited runs, "
+        "one pair per execution mode (sharded bank)"
+    ),
+    cases=_audit_cases(),
 ))

@@ -12,6 +12,8 @@
     python -m repro run --mode parallel --workers 4 --deterministic
     python -m repro run --mode planner --scenario read-mostly --seed 7
     python -m repro run --mode pipelined --scenario read-mostly --lookahead 2
+    python -m repro run --mode parallel --trace trace.jsonl --audit
+    python -m repro audit trace.jsonl
     python -m repro run --list-modes
     python -m repro run --list-scenarios
     python -m repro bench list
@@ -289,13 +291,16 @@ def _execute_run(
         # touching the frozen report keys.
         doc = report.as_dict()
         doc["telemetry"] = report.telemetry()
+        if report.audit is not None:
+            doc["audit"] = report.audit.as_dict()
         if json_buffer is not None:
             json_buffer.append(doc)
         else:
             print(json.dumps(doc))
     else:
         print(report.report())
-    return 0 if report.invariant_ok else 1
+    audit_ok = report.audit is None or report.audit.ok
+    return 0 if report.invariant_ok and audit_ok else 1
 
 
 def _scenario_flags(scenario: str) -> list[str]:
@@ -363,6 +368,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             "epoch_max_steps": args.epoch_steps,
             "lookahead": args.lookahead,
             "trace": args.trace,
+            "audit": args.audit or None,
         },
         scenario_params=_translate_scenario_flags(args),
         json_out=args.json,
@@ -461,6 +467,17 @@ def cmd_trace(args: argparse.Namespace) -> int:
     summary = summarize(events, dropped=meta.get("dropped", 0))
     print(format_summary(summary))
     return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    from repro.audit import audit_file
+
+    report = audit_file(args.path)
+    print(report.format())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(report.as_json() + "\n")
+    return 0 if report.ok else 1
 
 
 # -- deprecated aliases (delegate to the Database API) ---------------------
@@ -730,6 +747,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", type=_writable_path, default=None,
                    metavar="PATH",
                    help="write a JSONL execution trace to PATH")
+    p.add_argument("--audit", action="store_true",
+                   help="continuously verify the run: reconstruct the "
+                        "schedule from the trace and certify "
+                        "1-serializability (nonzero exit on violation)")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser(
@@ -788,6 +809,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("path", help="trace file written by run --trace")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "audit",
+        help="replay a JSONL execution trace through the continuous-"
+             "verification auditor (repro.audit)",
+    )
+    p.add_argument("path", help="trace file written by run --trace")
+    p.add_argument("--json", type=_writable_path, default=None,
+                   metavar="PATH",
+                   help="also write the AuditReport as JSON to PATH")
+    p.set_defaults(func=cmd_audit)
 
     p = sub.add_parser(
         "engine",

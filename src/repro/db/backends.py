@@ -107,10 +107,40 @@ class BackendAdapter:
                 f"config is for mode {config.mode!r}, "
                 f"backend is {self.name!r}"
             )
+        auditor = live = trace_path = None
+        exec_config = config
+        if getattr(config, "audit", False):
+            # Continuous verification: run through a live tracer with an
+            # auditor subscribed, so every epoch is certified as it
+            # closes.  ``_execute`` signatures stay untouched — the
+            # tracer travels through the existing ``trace`` option
+            # (``trace_run`` yields a passed Tracer verbatim), and a
+            # ``trace`` path is persisted here instead.
+            from dataclasses import replace
+
+            from repro.audit import Auditor
+            from repro.obs import Tracer
+
+            if isinstance(config.trace, Tracer):
+                live = config.trace
+            else:
+                if isinstance(config.trace, str):
+                    trace_path = config.trace
+                live = Tracer(capacity=None)  # unbounded: drops void audits
+            exec_config = replace(config, trace=live)
+            auditor = Auditor.attach(live)
         metrics, final_state, *rest = self._execute(
-            stream, initial, config
+            stream, initial, exec_config
         )
         notes = rest[0] if rest else ()
+        audit_report = None
+        if auditor is not None:
+            from repro.obs import write_jsonl
+
+            live.unsubscribe(auditor.feed)
+            if trace_path is not None:
+                write_jsonl(live, trace_path)
+            audit_report = auditor.finish(dropped=live.log.dropped)
         return RunReport(
             mode=self.name,
             scenario=scenario,
@@ -126,6 +156,7 @@ class BackendAdapter:
             notes=notes,
             metrics=metrics,
             final_state=final_state,
+            audit=audit_report,
             **self._core(metrics),
         )
 
@@ -146,7 +177,7 @@ class SerialEngineBackend(BackendAdapter):
     )
     applicable = frozenset({
         "scheduler", "workers", "deterministic", "retry",
-        "gc_every", "epoch_max_steps", "trace",
+        "gc_every", "epoch_max_steps", "trace", "audit",
     })
     defaults = {
         "scheduler": "mvto",
@@ -155,6 +186,7 @@ class SerialEngineBackend(BackendAdapter):
         "retry": _DEFAULT_RETRY,
         "gc_every": 32,
         "epoch_max_steps": 256,
+        "audit": False,
     }
 
     def validate(self, config: "RunConfig") -> None:
@@ -215,7 +247,7 @@ class ShardRuntimeBackend(BackendAdapter):
     )
     applicable = frozenset({
         "scheduler", "workers", "batch_size", "deterministic",
-        "retry", "gc_every", "epoch_max_steps", "trace",
+        "retry", "gc_every", "epoch_max_steps", "trace", "audit",
     })
     defaults = {
         "scheduler": "mvto",
@@ -225,6 +257,7 @@ class ShardRuntimeBackend(BackendAdapter):
         "retry": _DEFAULT_RETRY,
         "gc_every": 32,
         "epoch_max_steps": 128,
+        "audit": False,
     }
 
     def _execute(self, stream, initial, config: "RunConfig"):
@@ -278,12 +311,13 @@ class BatchPlannerBackend(BackendAdapter):
         "versions, zero CC aborts by construction"
     )
     applicable = frozenset({
-        "workers", "batch_size", "deterministic", "trace",
+        "workers", "batch_size", "deterministic", "trace", "audit",
     })
     defaults = {
         "workers": 4,
         "batch_size": 64,
         "deterministic": False,
+        "audit": False,
     }
 
     def _execute(self, stream, initial, config: "RunConfig"):
@@ -332,12 +366,14 @@ class PipelinedPlannerBackend(BackendAdapter):
     )
     applicable = frozenset({
         "workers", "batch_size", "deterministic", "lookahead", "trace",
+        "audit",
     })
     defaults = {
         "workers": 4,
         "batch_size": 64,
         "deterministic": False,
         "lookahead": 1,
+        "audit": False,
     }
 
     def _execute(self, stream, initial, config: "RunConfig"):

@@ -34,6 +34,7 @@ MODE_OPTIONS: tuple[str, ...] = (
     "epoch_max_steps",
     "lookahead",
     "trace",
+    "audit",
 )
 
 
@@ -76,6 +77,11 @@ class RunConfig:
     #: live :class:`repro.obs.Tracer` to collect in memory (tests).
     #: ``None`` (the default everywhere) runs untraced at no cost.
     trace: Any = None
+    #: continuous verification: audit the run's trace online and attach
+    #: the :class:`repro.audit.AuditReport` to the ``RunReport``.
+    #: Implies tracing (an unbounded in-memory tracer is created when
+    #: ``trace`` is unset or a path).  Default False everywhere.
+    audit: bool | None = None
 
     def __post_init__(self) -> None:
         from repro.db.backends import get_backend
@@ -123,6 +129,10 @@ class RunConfig:
                     f"trace must be a JSONL path or a repro.obs.Tracer, "
                     f"got {self.trace!r}"
                 )
+        if self.audit is not None and not isinstance(self.audit, bool):
+            raise ValueError(
+                f"audit must be a bool, got {self.audit!r}"
+            )
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-serializable echo of the resolved configuration.
@@ -132,10 +142,11 @@ class RunConfig:
         """
         out: dict[str, Any] = {}
         for f in fields(self):
-            # ``trace`` is an observability knob, not an execution knob:
-            # it never changes what the run computes, so the config echo
-            # omits it and reports stay byte-identical traced or not.
-            if f.name == "trace":
+            # ``trace``/``audit`` are observability knobs, not execution
+            # knobs: they never change what the run computes, so the
+            # config echo omits them and reports stay byte-identical
+            # traced/audited or not.
+            if f.name in ("trace", "audit"):
                 continue
             value = getattr(self, f.name)
             if isinstance(value, RetryPolicy):

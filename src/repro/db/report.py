@@ -86,6 +86,11 @@ class RunReport:
     final_state: Mapping[str, Any] = field(
         default_factory=dict, repr=False, compare=False
     )
+    #: the continuous-verification verdict (``config.audit=True``):
+    #: a :class:`repro.audit.AuditReport`, else None.  Outside
+    #: ``as_dict()`` — the guaranteed schema stays frozen; the CLI's
+    #: ``--json`` attaches it under its own key.
+    audit: Any = field(default=None, repr=False, compare=False)
 
     @property
     def throughput(self) -> float:
@@ -161,4 +166,12 @@ class RunReport:
         else:
             verdict = "ok" if self.invariant_ok else "VIOLATED"
         lines.append(f"invariant     {verdict}")
+        if self.audit is not None:
+            lines.append(
+                "audit         certified 1-serializable "
+                f"({self.audit.certified} segment(s))"
+                if self.audit.ok
+                else "audit         VIOLATED "
+                f"({len(self.audit.violations)} violation(s))"
+            )
         return "\n".join(lines)

@@ -250,6 +250,23 @@ class OnlineEngine:
             version, owner = self._resolve_source(source, entity)
             entry.read_version = version
             attempt.reads.append(version.value)
+            if self.tracer.enabled:
+                # The reads-from edge, as observed: (entity, pos) names
+                # the exact version served (positions are globally
+                # unique per track), ``writer`` the transaction that
+                # installed it — T0 for pre-trace initial versions.
+                # Replay never re-emits and committed reads are
+                # identity-verified, so for committed attempts this
+                # record is final.
+                self.tracer.instant(
+                    "data", "txn.read", self.trace_track,
+                    txn=str(attempt.txn), seq=attempt.seq, entity=entity,
+                    pos=version.position,
+                    writer=(
+                        T_INIT if version.position is None
+                        else str(version.writer)
+                    ),
+                )
             if (
                 owner is not None
                 and owner is not attempt
@@ -270,6 +287,12 @@ class OnlineEngine:
         entry.version = version
         attempt.versions.append(version)
         self._version_owner[version.position] = attempt
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "data", "txn.write", self.trace_track,
+                txn=str(attempt.txn), seq=attempt.seq, entity=entity,
+                pos=version.position,
+            )
         return value
 
     def finish(self, attempt: TxnAttempt) -> TxnState:
@@ -449,9 +472,13 @@ class OnlineEngine:
             attempt.state = TxnState.ABORTED
             attempt.abort_reason = reason if attempt is root else "cascade"
             if self.tracer.enabled:
+                # ``seq`` ties the abort to one attempt: TxnIds repeat
+                # across retries, and the auditor cancels exactly the
+                # aborted attempt's data-op events.
                 self.tracer.instant(
                     "txn", "txn.abort", self.trace_track,
-                    txn=str(attempt.txn), reason=attempt.abort_reason,
+                    txn=str(attempt.txn), seq=attempt.seq,
+                    reason=attempt.abort_reason,
                 )
             if attempt is root:
                 if reason == "rejected":
@@ -570,7 +597,7 @@ class OnlineEngine:
         if self.tracer.enabled:
             self.tracer.instant(
                 "txn", "txn.commit", self.trace_track,
-                txn=str(attempt.txn),
+                txn=str(attempt.txn), seq=attempt.seq,
                 **({} if latency is None else {"latency": latency}),
             )
         self._commits_since_gc += 1

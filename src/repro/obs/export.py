@@ -17,7 +17,9 @@ from __future__ import annotations
 import json
 from typing import Iterable
 
-from repro.obs.tracer import BEGIN, END, INSTANT, TraceEvent, Tracer
+from repro.obs.tracer import (
+    BEGIN, END, INSTANT, TraceEvent, Tracer, sorted_payload,
+)
 
 
 def _dump(obj: dict) -> str:
@@ -90,7 +92,7 @@ def to_chrome_trace(events: Iterable[TraceEvent]) -> dict:
             "ts": event.ts,
             "pid": 0,
             "tid": tid,
-            "args": dict(event.args),
+            "args": sorted_payload(event.args),
         }
         if event.ph == INSTANT:
             entry["s"] = "t"  # thread-scoped instant marker

@@ -93,6 +93,11 @@ def format_summary(summary: dict) -> str:
         f"unclosed {summary['unclosed_spans']})",
         f"span          {summary['span']}",
     ]
+    if summary["dropped"]:
+        lines.insert(1, (
+            f"warning: dropped={summary['dropped']} — the ring buffer "
+            f"overflowed; this trace is incomplete"
+        ))
     if summary["phases"]:
         lines.append("phase            count      total       mean"
                      "        p95        p99      share")

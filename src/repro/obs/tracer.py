@@ -64,8 +64,23 @@ class TraceEvent:
             "cat": self.cat,
             "name": self.name,
             "track": self.track,
-            "args": {k: self.args[k] for k in sorted(self.args)},
+            "args": sorted_payload(self.args),
         }
+
+
+def sorted_payload(value: Any) -> Any:
+    """``value`` with every mapping's keys sorted, recursively.
+
+    Event ``args`` may nest (a data-op event carries its reads-from
+    source as a small dict); a one-level sort would leave the nested
+    keys in insertion order and break byte-identity between equal-seed
+    runs whose emit sites differ only in keyword order.
+    """
+    if isinstance(value, dict):
+        return {k: sorted_payload(value[k]) for k in sorted(value)}
+    if isinstance(value, (list, tuple)):
+        return [sorted_payload(v) for v in value]
+    return value
 
 
 class EventLog:
@@ -74,13 +89,15 @@ class EventLog:
     When full, the oldest event is dropped and counted — a trace can
     never grow without bound no matter how long the run, and the drop
     count rides along so a truncated trace says so instead of silently
-    posing as complete.  Appends take a lock: threaded backends emit
-    from worker and pipeline threads.
+    posing as complete.  ``capacity=None`` lifts the bound entirely for
+    consumers that need the complete stream (the auditor refuses
+    truncated traces, so audited runs record everything).  Appends take
+    a lock: threaded backends emit from worker and pipeline threads.
     """
 
-    def __init__(self, capacity: int = 65536) -> None:
-        if capacity < 1:
-            raise ValueError(f"capacity must be >= 1, got {capacity}")
+    def __init__(self, capacity: int | None = 65536) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
         self.capacity = capacity
         self._events: deque[TraceEvent] = deque()
         self._dropped = 0
@@ -88,7 +105,8 @@ class EventLog:
 
     def append(self, event: TraceEvent) -> None:
         with self._mutex:
-            if len(self._events) >= self.capacity:
+            if (self.capacity is not None
+                    and len(self._events) >= self.capacity):
                 self._events.popleft()
                 self._dropped += 1
             self._events.append(event)
@@ -116,6 +134,12 @@ class NullTracer:
     enabled = False
 
     def use_clock(self, clock: Callable[[], int | float]) -> None:
+        return None
+
+    def subscribe(self, sink: Callable[[TraceEvent], None]) -> None:
+        return None
+
+    def unsubscribe(self, sink: Callable[[TraceEvent], None]) -> None:
         return None
 
     def instant(self, cat: str, name: str, track: str = "driver",
@@ -148,7 +172,7 @@ class Tracer:
 
     def __init__(
         self,
-        capacity: int = 65536,
+        capacity: int | None = 65536,
         clock: Callable[[], int | float] | None = None,
     ) -> None:
         self.log = EventLog(capacity)
@@ -156,16 +180,38 @@ class Tracer:
             started = time.perf_counter()
             clock = lambda: int((time.perf_counter() - started) * 1e6)  # noqa: E731
         self._clock = clock
+        self._sinks: tuple[Callable[[TraceEvent], None], ...] = ()
 
     def use_clock(self, clock: Callable[[], int | float]) -> None:
         """Point timestamps at a logical clock (deterministic mode)."""
         self._clock = clock
 
+    # -- subscribers -------------------------------------------------------
+
+    def subscribe(self, sink: Callable[[TraceEvent], None]) -> None:
+        """Push every subsequent event to ``sink`` as it is emitted.
+
+        This is the live-audit hook: a subscriber sees the complete
+        stream regardless of ring-buffer capacity, because it is fed
+        before the log can drop anything.  Sinks run on the emitting
+        thread under the same guarantee as the log append — keep them
+        cheap (the auditor just folds the event into its state).
+        """
+        self._sinks = (*self._sinks, sink)
+
+    def unsubscribe(self, sink: Callable[[TraceEvent], None]) -> None:
+        # ``==``, not ``is``: bound methods (``auditor.feed``) are a
+        # fresh object per attribute access but compare equal.
+        self._sinks = tuple(s for s in self._sinks if s != sink)
+
     # -- emit --------------------------------------------------------------
 
     def _emit(self, ph: str, cat: str, name: str, track: str,
               args: dict[str, Any]) -> None:
-        self.log.append(TraceEvent(self._clock(), ph, cat, name, track, args))
+        event = TraceEvent(self._clock(), ph, cat, name, track, args)
+        self.log.append(event)
+        for sink in self._sinks:
+            sink(event)
 
     def instant(self, cat: str, name: str, track: str = "driver",
                 **args: Any) -> None:

@@ -37,6 +37,7 @@ import time
 
 from repro.engine.errors import EngineError
 from repro.engine.gc import WatermarkGC
+from repro.model.schedules import T_INIT
 from repro.model.steps import Entity
 from repro.obs import NULL_TRACER
 from repro.planner.executor import (
@@ -49,6 +50,43 @@ from repro.planner.metrics import PlannerMetrics
 from repro.planner.planning import plan_batch
 from repro.runtime.group_commit import GroupCommitLog
 from repro.storage.sharded import ShardedMultiversionStore
+
+
+def emit_planned_data_ops(tracer, ptxn) -> None:
+    """Emit ``txn.read``/``txn.write`` instants for one committed ptxn.
+
+    Emitted at settle time, when bindings are final (the pipelined
+    planner re-binds cross-batch reads whose source slot aborted, so
+    plan-time bindings may not be the served ones) and the fate is
+    known (aborted transactions never read or wrote anything durable —
+    their slots are removed).  ``pos`` is the source/installed chain
+    position — the trace-wide join key between a read and the write
+    that produced its version; ``seq`` is the plan timestamp (planned
+    transactions run exactly once, so it only disambiguates, never
+    cancels).  Settle iterates ptxns in timestamp order and a source
+    writer always has a smaller timestamp, so every read's source write
+    event precedes it in the stream.
+    """
+    bindings = {b.step_index: b for b in ptxn.bindings}
+    slots = iter(ptxn.slots)
+    txn = str(ptxn.txn)
+    for index, step in enumerate(ptxn.transaction.steps):
+        if step.is_write:
+            slot = next(slots)
+            tracer.instant(
+                "data", "txn.write", "driver",
+                txn=txn, seq=ptxn.timestamp, entity=step.entity,
+                pos=slot.position,
+            )
+            continue
+        source = bindings[index].source
+        pos = None if source is None else source.position
+        tracer.instant(
+            "data", "txn.read", "driver",
+            txn=txn, seq=ptxn.timestamp, entity=step.entity,
+            pos=pos,
+            writer=T_INIT if pos is None else str(source.writer),
+        )
 
 
 class BatchPlanner:
@@ -208,6 +246,7 @@ class BatchPlanner:
                 latency = engine.ticks - tick
                 engine.latency.record(latency)
                 if tracing:
+                    emit_planned_data_ops(self.tracer, ptxn)
                     self.tracer.instant(
                         "txn", "txn.commit", "driver",
                         txn=str(ptxn.txn), latency=latency,

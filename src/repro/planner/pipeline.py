@@ -77,6 +77,7 @@ from repro.planner.executor import (
     PlanExecutor,
     verify_settled,
 )
+from repro.planner.driver import emit_planned_data_ops
 from repro.planner.metrics import PipelineMetrics
 from repro.planner.planning import plan_batch
 from repro.runtime.group_commit import GroupCommitLog
@@ -412,6 +413,7 @@ class PipelinedPlanner:
                 latency = head.settle_tick - tick
                 engine.latency.record(latency)
                 if tracing:
+                    emit_planned_data_ops(self.tracer, ptxn)
                     self.tracer.instant(
                         "txn", "txn.commit", "driver",
                         txn=str(ptxn.txn), latency=latency,

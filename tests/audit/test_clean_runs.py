@@ -1,0 +1,145 @@
+"""Every real run audits clean: scenarios × modes, live and post-hoc.
+
+The positive half of the audit contract (the adversarial tests are the
+negative half): all four execution modes, over every registered
+scenario, reconstruct into certifiable schedules with zero violations —
+and equal-seed deterministic runs certify byte-identically.
+"""
+
+import json
+
+import pytest
+
+from repro.audit import Auditor, audit_events, audit_file
+from repro.db import Database, RunConfig, backend_names
+from repro.obs import Tracer
+from repro.workloads import scenario_names
+
+MODES = backend_names()
+
+
+def run_audited(mode, scenario, *, seed=3, txns=60, **overrides):
+    config = RunConfig(
+        mode=mode, workers=2, deterministic=True, seed=seed,
+        audit=True, **overrides,
+    )
+    return Database().run(scenario, config, txns=txns)
+
+
+class TestEveryScenarioEveryMode:
+    @pytest.mark.parametrize("scenario", scenario_names())
+    @pytest.mark.parametrize("mode", MODES)
+    def test_clean_audit(self, mode, scenario):
+        report = run_audited(mode, scenario)
+        audit = report.audit
+        assert audit is not None
+        assert audit.ok, audit.format()
+        assert audit.violations == ()
+        assert audit.segments == audit.certified > 0
+        assert audit.reads > 0 and audit.writes > 0
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_threaded_runs_audit_clean(self, mode):
+        if mode == "serial":
+            pytest.skip("serial is inherently deterministic")
+        config = RunConfig(
+            mode=mode, workers=3, deterministic=False, seed=7,
+            audit=True,
+        )
+        report = Database().run("sharded-bank", config, txns=60)
+        assert report.audit.ok, report.audit.format()
+
+
+class TestDeterministicByteIdentity:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_equal_seed_reports_are_byte_identical(self, mode):
+        first = run_audited(mode, "sharded-bank", seed=5)
+        second = run_audited(mode, "sharded-bank", seed=5)
+        assert first.audit.as_json() == second.audit.as_json()
+
+    def test_report_json_has_fixed_key_order(self):
+        doc = json.loads(run_audited("serial", "bank").audit.as_json())
+        assert list(doc) == [
+            "meta", "ok", "events", "dropped", "tracks", "segments",
+            "certified", "committed_attempts", "reads", "writes",
+            "violations",
+        ]
+
+
+class TestWiring:
+    def test_audit_rides_a_passed_tracer(self):
+        tracer = Tracer(capacity=None)
+        config = RunConfig(
+            mode="serial", workers=2, seed=3, trace=tracer, audit=True,
+        )
+        report = Database().run("bank", config, txns=40)
+        assert report.audit.ok
+        # The live log and a post-hoc replay agree exactly.
+        replay = audit_events(list(tracer.log), dropped=tracer.log.dropped)
+        assert replay.as_json() == report.audit.as_json()
+
+    def test_audit_with_trace_path_persists_and_matches(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        config = RunConfig(
+            mode="planner", workers=2, deterministic=True, seed=3,
+            trace=str(path), audit=True,
+        )
+        report = Database().run("bank", config, txns=40)
+        assert path.exists()
+        assert audit_file(str(path)).as_json() == report.audit.as_json()
+
+    def test_audit_defaults_off_and_stays_out_of_config_echo(self):
+        config = RunConfig(mode="serial", workers=2, seed=3)
+        assert config.audit is False
+        report = Database().run("bank", config, txns=20)
+        assert report.audit is None
+        assert "audit" not in report.as_dict()["config"]
+        audited = RunConfig(mode="serial", workers=2, seed=3, audit=True)
+        assert "audit" not in audited.as_dict()
+
+    def test_audit_does_not_change_the_guaranteed_report(self):
+        plain = Database().run(
+            "sharded-bank",
+            RunConfig(mode="serial", workers=2, seed=3),
+            txns=40,
+        )
+        audited = Database().run(
+            "sharded-bank",
+            RunConfig(mode="serial", workers=2, seed=3, audit=True),
+            txns=40,
+        )
+        assert plain.as_dict() == audited.as_dict()
+
+    def test_audit_must_be_bool(self):
+        with pytest.raises(ValueError, match="audit must be a bool"):
+            RunConfig(mode="serial", audit="yes")
+
+    def test_human_report_carries_the_verdict(self):
+        report = run_audited("serial", "bank")
+        assert "certified 1-serializable" in report.report()
+
+    def test_bounded_tracer_drops_void_the_audit(self):
+        # A deliberately tiny ring buffer overflows; the audit refuses.
+        tracer = Tracer(capacity=8)
+        config = RunConfig(
+            mode="serial", workers=2, seed=3, trace=tracer, audit=True,
+        )
+        report = Database().run("bank", config, txns=40)
+        assert not report.audit.ok
+        assert [v.code for v in report.audit.violations] == [
+            "trace-dropped"
+        ]
+
+    def test_live_auditor_attach_detach(self):
+        tracer = Tracer(capacity=None)
+        auditor = Auditor.attach(tracer)
+        tracer.instant("data", "txn.write", "engine",
+                       txn="a", seq=0, entity="x", pos=1)
+        tracer.instant("txn", "txn.commit", "engine", txn="a", seq=0)
+        tracer.instant("epoch", "epoch.close", "engine")
+        tracer.unsubscribe(auditor.feed)
+        tracer.instant("epoch", "epoch.close", "engine")  # not seen
+        report = auditor.finish()
+        assert report.ok
+        assert report.events == 3
+        assert report.segments == 1

@@ -1,0 +1,142 @@
+"""ScheduleReconstructor: folding event streams into model schedules."""
+
+from repro.audit import ScheduleReconstructor, audit_events
+from repro.model.schedules import T_INIT
+from repro.obs.tracer import BEGIN, END, INSTANT, TraceEvent
+
+
+def ev(name, track="engine", ph=INSTANT, ts=0, **args):
+    cat = "data" if name.startswith("txn.") else "epoch"
+    return TraceEvent(ts, ph, cat, name, track, args)
+
+
+def rd(txn, entity, pos, writer, *, seq=0, track="engine"):
+    return ev("txn.read", track=track, txn=txn, seq=seq,
+              entity=entity, pos=pos, writer=writer)
+
+
+def wr(txn, entity, pos, *, seq=0, track="engine"):
+    return ev("txn.write", track=track, txn=txn, seq=seq,
+              entity=entity, pos=pos)
+
+
+def commit(txn, *, seq=0, track="engine"):
+    return ev("txn.commit", track=track, txn=txn, seq=seq)
+
+
+def abort(txn, *, seq=0, track="engine"):
+    return ev("txn.abort", track=track, txn=txn, seq=seq)
+
+
+def close(track="engine"):
+    return ev("epoch.close", track=track)
+
+
+def fold(events):
+    rec = ScheduleReconstructor()
+    for event in events:
+        rec.feed(event)
+    return rec.finish()
+
+
+class TestFolding:
+    def test_one_clean_segment(self):
+        segs = fold([
+            wr("a", "x", 1), commit("a"),
+            rd("b", "x", 1, "a"), commit("b"),
+            close(),
+        ])
+        assert len(segs) == 1
+        seg = segs[0]
+        assert not seg.violations
+        assert [str(s) for s in seg.schedule] == ["Wa(x)", "Rb(x)"]
+        assert seg.read_sources == {1: "a"}
+        assert seg.committed == ("a", "b")
+
+    def test_initial_version_reads_pin_t_init(self):
+        segs = fold([
+            rd("a", "x", None, T_INIT), commit("a"), close(),
+        ])
+        assert not segs[0].violations
+        assert segs[0].read_sources == {0: T_INIT}
+
+    def test_aborted_attempt_ops_are_canceled(self):
+        # Attempt 0 of txn "a" writes then aborts; attempt 1 commits.
+        segs = fold([
+            wr("a", "x", 1, seq=0), abort("a", seq=0),
+            wr("a", "x", 2, seq=1), commit("a", seq=1),
+            close(),
+        ])
+        seg = segs[0]
+        assert not seg.violations
+        assert [str(s) for s in seg.schedule] == ["Wa(x)"]
+
+    def test_segments_split_at_epoch_close(self):
+        segs = fold([
+            wr("a", "x", 1), commit("a"), close(),
+            rd("b", "x", 1, "a"), commit("b"), close(),
+        ])
+        assert [s.index for s in segs] == [0, 1]
+        # The cross-epoch read folds to the segment's initial state.
+        assert segs[1].read_sources == {0: T_INIT}
+        assert not segs[0].violations and not segs[1].violations
+
+    def test_settle_batch_end_delimits_planner_tracks(self):
+        segs = fold([
+            ev("settle.batch", track="driver", ph=BEGIN),
+            wr("a", "x", 1, track="driver"),
+            commit("a", track="driver"),
+            ev("settle.batch", track="driver", ph=END),
+        ])
+        assert len(segs) == 1
+        assert segs[0].track == "driver"
+
+    def test_tracks_fold_independently(self):
+        segs = fold([
+            wr("a", "x", 1, track="shard-0"), commit("a", track="shard-0"),
+            wr("b", "y", 1, track="shard-1"), commit("b", track="shard-1"),
+            close("shard-0"), close("shard-1"),
+        ])
+        assert {s.track for s in segs} == {"shard-0", "shard-1"}
+        assert all(not s.violations for s in segs)
+
+    def test_lifecycle_only_stretch_reconstructs_to_nothing(self):
+        segs = fold([commit("a"), close()])
+        assert segs == []
+
+    def test_finish_flushes_residual_segment_and_is_idempotent(self):
+        rec = ScheduleReconstructor()
+        rec.feed(wr("a", "x", 1))
+        rec.feed(commit("a"))
+        assert rec.finish() == rec.finish()
+        assert len(rec.segments) == 1
+
+    def test_on_segment_fires_at_every_close(self):
+        seen = []
+        rec = ScheduleReconstructor(on_segment=seen.append)
+        for event in [wr("a", "x", 1), commit("a"), close(),
+                      wr("b", "x", 2), commit("b"), close()]:
+            rec.feed(event)
+        assert [s.index for s in seen] == [0, 1]
+
+
+class TestAuditEvents:
+    def test_empty_stream_is_ok(self):
+        report = audit_events([])
+        assert report.ok
+        assert report.segments == 0
+
+    def test_clean_stream_certifies(self):
+        report = audit_events([
+            wr("a", "x", 1), commit("a"),
+            rd("b", "x", 1, "a"), commit("b"), close(),
+        ])
+        assert report.ok
+        assert report.certified == 1
+        assert report.reads == 1 and report.writes == 1
+
+    def test_dropped_refuses_without_feeding(self):
+        report = audit_events([wr("a", "x", 1), commit("a")], dropped=3)
+        assert not report.ok
+        assert [v.code for v in report.violations] == ["trace-dropped"]
+        assert report.segments == 0

@@ -84,3 +84,14 @@ class TestFormatSummary:
         assert "events        3  (dropped 2, unclosed 0)" in text
         assert "plan.batch" in text
         assert "txn.commit 1" in text
+
+    def test_dropped_trace_warns_incomplete(self):
+        events = [ev(0, INSTANT, "txn.commit")]
+        text = format_summary(summarize(events, dropped=7))
+        warning = text.splitlines()[1]
+        assert "warning" in warning and "dropped=7" in warning
+        assert "incomplete" in warning
+
+    def test_no_warning_without_drops(self):
+        text = format_summary(summarize([ev(0, INSTANT, "txn.commit")]))
+        assert "warning" not in text

@@ -90,3 +90,57 @@ class TestNullTracer:
         NULL_TRACER.instant("t", "e")
         NULL_TRACER.begin("t", "s")
         NULL_TRACER.end("t", "s")
+
+
+class TestUnboundedLog:
+    def test_capacity_none_never_drops(self):
+        log = EventLog(capacity=None)
+        for i in range(100_000):
+            log.append(TraceEvent(i, INSTANT, "t", "e", "driver"))
+        assert len(log) == 100_000
+        assert log.dropped == 0
+
+    def test_tracer_accepts_capacity_none(self):
+        tracer = Tracer(capacity=None)
+        tracer.use_clock(lambda: 0)
+        for i in range(70_000):  # above the bounded default
+            tracer.instant("t", "e", n=i)
+        assert tracer.dropped == 0
+        assert len(tracer.events) == 70_000
+
+
+class TestSubscribers:
+    def test_sink_sees_every_event_before_drops(self):
+        seen = []
+        tracer = Tracer(capacity=2)
+        tracer.use_clock(lambda: 0)
+        tracer.subscribe(seen.append)
+        for i in range(5):
+            tracer.instant("t", "e", n=i)
+        # The log dropped three; the subscriber saw the whole stream.
+        assert len(tracer.events) == 2
+        assert [e.args["n"] for e in seen] == [0, 1, 2, 3, 4]
+
+    def test_unsubscribe_stops_delivery(self):
+        seen = []
+        tracer = Tracer()
+        tracer.use_clock(lambda: 0)
+        tracer.subscribe(seen.append)
+        tracer.instant("t", "first")
+        tracer.unsubscribe(seen.append)
+        tracer.instant("t", "second")
+        assert [e.name for e in seen] == ["first"]
+
+    def test_null_tracer_tolerates_subscribers(self):
+        NULL_TRACER.subscribe(lambda e: None)
+        NULL_TRACER.unsubscribe(lambda e: None)
+
+
+class TestSortedPayload:
+    def test_nested_mappings_sorted_recursively(self):
+        event = TraceEvent(0, INSTANT, "t", "e", "driver",
+                           {"z": {"b": 1, "a": 2}, "a": [{"d": 1, "c": 2}]})
+        args = event.as_dict()["args"]
+        assert list(args) == ["a", "z"]
+        assert list(args["z"]) == ["a", "b"]
+        assert list(args["a"][0]) == ["c", "d"]

@@ -587,3 +587,66 @@ class TestDeprecatedAliases:
             with pytest.raises(SystemExit) as excinfo:
                 main(["planner", flag, "4"])
             assert excinfo.value.code == 2
+
+
+class TestAudit:
+    """`run --audit` and the `audit` subcommand."""
+
+    def test_run_audit_prints_verdict(self, capsys):
+        assert main([
+            "run", "--mode", "parallel", "--scenario", "sharded-bank",
+            "--txns", "40", "--deterministic", "--audit",
+        ]) == 0
+        assert "certified 1-serializable" in capsys.readouterr().out
+
+    def test_run_audit_json_carries_the_report(self, capsys):
+        assert main([
+            "run", "--mode", "planner", "--scenario", "bank",
+            "--txns", "40", "--deterministic", "--audit", "--json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["audit"]["ok"] is True
+        assert doc["audit"]["certified"] >= 1
+        assert "audit" not in doc["config"]  # observability knob
+
+    def test_trace_then_audit(self, capsys, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        json_path = str(tmp_path / "audit.json")
+        assert main([
+            "run", "--mode", "serial", "--scenario", "bank",
+            "--txns", "40", "--trace", path, "--audit",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["audit", path, "--json", json_path]) == 0
+        out = capsys.readouterr().out
+        assert "CERTIFIED: 1-serializable" in out
+        with open(json_path, encoding="utf-8") as source:
+            doc = json.load(source)
+        assert doc["ok"] is True and doc["violations"] == []
+
+    def test_audit_flags_forged_trace_with_exit_1(self, capsys, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        assert main([
+            "run", "--mode", "serial", "--scenario", "bank",
+            "--txns", "40", "--trace", path,
+        ]) == 0
+        lines = open(path, encoding="utf-8").read().splitlines()
+        for i, line in enumerate(lines):
+            record = json.loads(line)
+            if (record.get("name") == "txn.read"
+                    and record["args"].get("pos") is not None):
+                record["args"]["writer"] = "t9999"
+                lines[i] = json.dumps(record)
+                break
+        open(path, "w", encoding="utf-8").write("\n".join(lines) + "\n")
+        capsys.readouterr()
+        assert main(["audit", path]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATED" in out
+        assert "read-from-mismatch" in out
+
+    def test_audit_non_trace_is_usage_error(self, capsys, tmp_path):
+        path = tmp_path / "junk.txt"
+        path.write_text("hello\n")
+        assert main(["audit", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
