@@ -10,7 +10,6 @@ curves bend and which stay flat — is the reproduced result.
 from __future__ import annotations
 
 import random
-import time
 from typing import Callable, Sequence
 
 from repro.classes.csr import is_csr
@@ -19,12 +18,13 @@ from repro.classes.mvsr import is_mvsr
 from repro.classes.vsr import is_vsr
 from repro.model.enumeration import random_schedule
 from repro.model.schedules import Schedule
+from repro.obs.clock import perf_clock
 
 
 def _time_once(fn: Callable[[], object]) -> float:
-    start = time.perf_counter()
+    start = perf_clock()
     fn()
-    return time.perf_counter() - start
+    return perf_clock() - start
 
 
 def scaling_measurements(

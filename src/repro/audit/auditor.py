@@ -20,6 +20,8 @@ epoch-sized instances with every read pinned, where the polygraph
 backtracker's propagation almost always resolves without search.
 """
 
+# repro: deterministic-contract — equal seeds must yield byte-identical output
+
 from __future__ import annotations
 
 import threading

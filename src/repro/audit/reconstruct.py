@@ -27,6 +27,8 @@ engines' base-capture rule verbatim — after checking it was served the
 in; certification is the :class:`repro.audit.auditor.Auditor`'s job.
 """
 
+# repro: deterministic-contract — equal seeds must yield byte-identical output
+
 from __future__ import annotations
 
 from dataclasses import dataclass, field

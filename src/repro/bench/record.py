@@ -15,6 +15,8 @@ the regression gate trustworthy.
 a different major schema instead of mis-parsing them.
 """
 
+# repro: deterministic-contract — equal seeds must yield byte-identical output
+
 from __future__ import annotations
 
 import json

@@ -106,6 +106,21 @@ def _writable_path(text: str) -> str:
     return text
 
 
+def _readable_path(text: str) -> str:
+    """argparse type: an existing readable file.
+
+    The parse-time twin of :func:`_writable_path`, shared by every
+    subcommand that reads a file (``trace summarize``, ``audit``,
+    ``lint --baseline``) so a typo'd path fails with the same one-line
+    usage error everywhere.
+    """
+    if not os.path.isfile(text):
+        raise argparse.ArgumentTypeError(f"no such file: {text!r}")
+    if not os.access(text, os.R_OK):
+        raise argparse.ArgumentTypeError(f"not readable: {text!r}")
+    return text
+
+
 def _parse_cnf(text: str) -> CNF:
     """Parse ``a|b & ~a|~b`` style CNF text."""
     cnf = CNF()
@@ -480,6 +495,35 @@ def cmd_audit(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import lint_paths, write_baseline
+
+    # repeatable flags also accept comma-separated ids.
+    select = [r for text in args.select for r in text.split(",") if r]
+    ignore = [r for text in args.ignore for r in text.split(",") if r]
+    if args.write_baseline:
+        report = lint_paths(args.paths, select=select or None,
+                            ignore=ignore or None)
+        write_baseline(report.findings, args.write_baseline)
+        count = len(report.findings)
+        noun = "entry" if count == 1 else "entries"
+        print(
+            f"wrote {count} baseline {noun} to {args.write_baseline}"
+        )
+        return 0
+    report = lint_paths(
+        args.paths,
+        select=select or None,
+        ignore=ignore or None,
+        baseline=args.baseline,
+    )
+    print(report.format())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(report.as_json() + "\n")
+    return 0 if report.ok else 1
+
+
 # -- deprecated aliases (delegate to the Database API) ---------------------
 
 
@@ -807,7 +851,8 @@ def build_parser() -> argparse.ArgumentParser:
         "summarize",
         help="per-phase time breakdown and critical-path stats",
     )
-    p.add_argument("path", help="trace file written by run --trace")
+    p.add_argument("path", type=_readable_path,
+                   help="trace file written by run --trace")
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser(
@@ -815,11 +860,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay a JSONL execution trace through the continuous-"
              "verification auditor (repro.audit)",
     )
-    p.add_argument("path", help="trace file written by run --trace")
+    p.add_argument("path", type=_readable_path,
+                   help="trace file written by run --trace")
     p.add_argument("--json", type=_writable_path, default=None,
                    metavar="PATH",
                    help="also write the AuditReport as JSON to PATH")
     p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the AST contract linter (determinism, lock "
+             "discipline, trace taxonomy) over source paths",
+    )
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to lint (default: src)")
+    p.add_argument("--select", action="append", default=[],
+                   metavar="RULE-ID",
+                   help="run only these rules (repeatable or "
+                        "comma-separated)")
+    p.add_argument("--ignore", action="append", default=[],
+                   metavar="RULE-ID",
+                   help="skip these rules (repeatable or comma-separated)")
+    p.add_argument("--baseline", type=_readable_path, default=None,
+                   metavar="PATH",
+                   help="committed baseline of grandfathered findings; "
+                        "stale entries are themselves findings")
+    p.add_argument("--write-baseline", type=_writable_path, default=None,
+                   metavar="PATH",
+                   help="write the current findings out as a fresh "
+                        "baseline and exit 0")
+    p.add_argument("--json", type=_writable_path, default=None,
+                   metavar="PATH",
+                   help="also write the LintReport as JSON to PATH")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser(
         "engine",

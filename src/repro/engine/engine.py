@@ -36,6 +36,8 @@ Mechanics
   broken by aborting the youngest member (``break_pending_cycle``).
 """
 
+# repro: deterministic-contract — equal seeds must yield byte-identical output
+
 from __future__ import annotations
 
 import enum
@@ -595,6 +597,7 @@ class OnlineEngine:
             latency = self.metrics.ticks - attempt.born_tick
             self.metrics.latency.record(latency)
         if self.tracer.enabled:
+            # repro: lint-ignore[O303] keys literal in both ** branches
             self.tracer.instant(
                 "txn", "txn.commit", self.trace_track,
                 txn=str(attempt.txn), seq=attempt.seq,

@@ -31,6 +31,8 @@ first position — exactly what ``prune_before`` retains at the clamped
 watermark — so a pinned plan's bindings structurally survive collection.
 """
 
+# repro: deterministic-contract — equal seeds must yield byte-identical output
+
 from __future__ import annotations
 
 from dataclasses import dataclass, field

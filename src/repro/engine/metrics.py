@@ -1,5 +1,7 @@
 """Engine observability: commit/abort/retry counters and a report."""
 
+# repro: deterministic-contract — equal seeds must yield byte-identical output
+
 from __future__ import annotations
 
 from dataclasses import dataclass, field

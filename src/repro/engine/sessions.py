@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import enum
 import random
-import time
 from typing import Iterable, Iterator
 
 from repro.model.transactions import Transaction
@@ -26,6 +25,7 @@ from repro.engine.engine import OnlineEngine, TxnState
 from repro.engine.errors import EngineError, TransactionAborted
 from repro.engine.metrics import EngineMetrics
 from repro.engine.retry import RetryPolicy
+from repro.obs.clock import perf_clock
 
 
 class SessionState(enum.Enum):
@@ -226,7 +226,7 @@ class ConcurrentDriver:
             # The serial driver is single-threaded and seeded — always
             # deterministic — so the trace clock is always the tick.
             engine.tracer.use_clock(lambda: engine.metrics.ticks)
-        started = time.perf_counter()
+        started = perf_clock()
         while True:
             engine.metrics.ticks += 1
             self._feed_idle_sessions()
@@ -248,6 +248,6 @@ class ConcurrentDriver:
         if not engine.quiescent:
             raise EngineError("driver finished with transactions in flight")
         engine.close_epoch()
-        engine.metrics.elapsed = time.perf_counter() - started
+        engine.metrics.elapsed = perf_clock() - started
         engine.metrics.final_versions = engine.store.version_count()
         return engine.metrics

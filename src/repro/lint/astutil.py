@@ -1,0 +1,35 @@
+"""Small AST helpers the rule families share."""
+
+from __future__ import annotations
+
+import ast
+
+
+def expr_key(node: ast.AST) -> str | None:
+    """A canonical textual key for a simple expression.
+
+    ``self.store.lock_of(entity)`` → ``"self.store.lock_of()"``,
+    ``self.locks[k]`` → ``"self.locks[]"``.  Calls and subscripts are
+    collapsed (argument values don't name the object); anything more
+    exotic keys to ``None`` and is treated as unidentifiable.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = expr_key(node.value)
+        return None if base is None else f"{base}.{node.attr}"
+    if isinstance(node, ast.Call):
+        base = expr_key(node.func)
+        return None if base is None else f"{base}()"
+    if isinstance(node, ast.Subscript):
+        base = expr_key(node.value)
+        return None if base is None else f"{base}[]"
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The called name for a plain-name call, else ``None``."""
+    return node.func.id if isinstance(node.func, ast.Name) else None
+
+
+__all__ = ["call_name", "expr_key"]

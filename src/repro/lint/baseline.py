@@ -1,0 +1,110 @@
+"""The committed baseline: grandfathered findings, line-number-free.
+
+A baseline entry is ``(rule, path, message)`` — deliberately without a
+line number, so unrelated edits above a grandfathered site don't
+invalidate the whole file's entries.  Matching is multiset-style: each
+entry absorbs exactly one matching finding, so a *second* violation of
+the same shape in the same file is a fresh finding, not a free ride.
+
+Entries that match nothing are **stale** and become ``B001`` findings:
+a baseline only ever shrinks, and CI fails until someone deletes the
+dead weight — that is how "near-empty baseline" stays true over time.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Any
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = "repro.lint/v1"
+
+
+def load_baseline(path: str) -> list[dict[str, Any]]:
+    """Parse a baseline file; ``ValueError`` on anything malformed."""
+    try:
+        with open(path, "r", encoding="utf-8") as source:
+            document = json.load(source)
+    except OSError as exc:
+        raise ValueError(f"cannot read baseline: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path} is not a JSON baseline: {exc}") from None
+    if not isinstance(document, dict) or (
+        document.get("version") != BASELINE_VERSION
+    ):
+        raise ValueError(
+            f"{path} is not a {BASELINE_VERSION} baseline document"
+        )
+    entries = document.get("entries")
+    if not isinstance(entries, list):
+        raise ValueError(f"{path} has no 'entries' list")
+    for entry in entries:
+        if not isinstance(entry, dict) or not (
+            {"rule", "path", "message"} <= set(entry)
+        ):
+            raise ValueError(
+                f"{path}: baseline entries need rule/path/message keys, "
+                f"got {entry!r}"
+            )
+    return entries
+
+
+def baseline_document(findings: list[Finding]) -> dict[str, Any]:
+    """A baseline absorbing ``findings`` (the bootstrap shape)."""
+    return {
+        "version": BASELINE_VERSION,
+        "entries": [
+            {"rule": f.rule_id, "path": f.path, "message": f.message}
+            for f in sorted(findings)
+        ],
+    }
+
+
+def write_baseline(findings: list[Finding], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as sink:
+        json.dump(baseline_document(findings), sink, indent=2)
+        sink.write("\n")
+
+
+def apply_baseline(
+    findings: list[Finding],
+    entries: list[dict[str, Any]],
+    baseline_path: str,
+) -> tuple[list[Finding], int]:
+    """Absorb baselined findings; stale entries come back as B001.
+
+    Returns ``(kept_findings, baselined_count)`` where kept findings
+    include one ``B001`` per stale entry, located at the baseline file
+    itself (line 0 — the entry, not any source line, is the problem).
+    """
+    budget = Counter(
+        (e["rule"], e["path"], e["message"]) for e in entries
+    )
+    kept: list[Finding] = []
+    baselined = 0
+    for finding in findings:
+        key = (finding.rule_id, finding.path, finding.message)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            baselined += 1
+        else:
+            kept.append(finding)
+    for (rule, path, message), remaining in sorted(budget.items()):
+        for _ in range(remaining):
+            kept.append(Finding(
+                baseline_path, 0, "B001",
+                f"stale baseline entry {rule} {path}: {message!r} "
+                "matches no current finding; delete it",
+            ))
+    return kept, baselined
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "apply_baseline",
+    "baseline_document",
+    "load_baseline",
+    "write_baseline",
+]

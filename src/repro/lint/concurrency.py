@@ -1,0 +1,252 @@
+"""C-rules: lock discipline for the shard-coordination layers.
+
+``C201``
+    Builds a static lock-acquisition-order graph from lexically nested
+    ``with <lock>:`` blocks across every linted module (lock-ish means
+    the expression's name contains ``lock`` or ``mutex``) and flags
+    cycles: if one code path takes A then B while another takes B then
+    A, the two can deadlock.  The graph is whole-run state — edges
+    accumulate module by module and cycles are reported at
+    :meth:`finalize`, so the rule *proves acyclicity* over everything
+    it saw (the self-gate test pins that over ``runtime/`` +
+    ``storage/`` + ``planner/`` as committed).  Reentrant nesting of
+    one lock (an edge A→A) is the sharded store's documented RLock
+    discipline and is not an ordering violation.
+
+``C202``
+    A bare ``.acquire()`` call not covered by a ``try/finally`` that
+    ``.release()``\\ s the same lock leaks the lock on any exception
+    between the two.  Exempt: ``__enter__`` bodies (their ``__exit__``
+    releases — the context-manager discipline) and functions named
+    ``acquire``/``_acquire`` (lock wrappers).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.astutil import expr_key
+from repro.lint.findings import Finding
+from repro.lint.registry import LintRule, register_rule
+
+_LOCKISH = ("lock", "mutex")
+_EXEMPT_FUNCTIONS = {"__enter__", "acquire", "_acquire"}
+
+
+def _lock_key(node: ast.expr) -> str | None:
+    """The canonical key of a lock-ish expression, else ``None``."""
+    key = expr_key(node)
+    if key is None:
+        return None
+    tail = key.split(".")[-1].lower()
+    if any(word in tail for word in _LOCKISH):
+        return key
+    return None
+
+
+@register_rule(
+    "C201",
+    family="concurrency",
+    summary="cyclic lock-acquisition order across nested with-blocks",
+)
+class LockOrderRule(LintRule):
+    """Accumulate the acquisition-order graph; cycles are findings."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: (outer, inner) -> first (path, line) that added the edge.
+        self.edges: dict[tuple[str, str], tuple[str, int]] = {}
+        self._held: list[str] = []
+
+    def _visit_function(self, node: ast.AST) -> None:
+        # A nested def's body runs later, under whatever locks its
+        # *caller* holds — not the lexically enclosing with-block's.
+        held, self._held = self._held, []
+        self.generic_visit(node)
+        self._held = held
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+    visit_Lambda = _visit_function
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        assert self.ctx is not None
+        acquired: list[str] = []
+        for item in node.items:
+            key = _lock_key(item.context_expr)
+            if key is None:
+                continue
+            for outer in self._held + acquired:
+                if outer != key:
+                    self.edges.setdefault(
+                        (outer, key), (self.ctx.path, node.lineno)
+                    )
+            acquired.append(key)
+        self._held.extend(acquired)
+        self.generic_visit(node)
+        del self._held[len(self._held) - len(acquired):]
+
+    def finalize(self) -> list[Finding]:
+        found: list[Finding] = []
+        nodes = {a for a, _ in self.edges} | {b for _, b in self.edges}
+        for component in _cycles(nodes, self.edges):
+            members = set(component)
+            # anchor the finding at the first edge inside the cycle
+            # (sorted for deterministic output).
+            sites = sorted(
+                (site, edge)
+                for edge, site in self.edges.items()
+                if edge[0] in members and edge[1] in members
+            )
+            (path, line), _ = sites[0]
+            chain = " -> ".join(component + (component[0],))
+            found.append(Finding(
+                path, line, self.rule_id,
+                f"lock-acquisition-order cycle: {chain}; nested "
+                "with-blocks take these locks in conflicting orders "
+                "(deadlock risk)",
+            ))
+        return found
+
+
+def _cycles(
+    nodes: set[str], edges: dict[tuple[str, str], tuple[str, int]]
+) -> list[tuple[str, ...]]:
+    """Elementary cycles as canonical node tuples (Tarjan SCCs).
+
+    Each strongly connected component with more than one node is one
+    finding — reporting every elementary cycle inside a dense SCC
+    would bury the signal.  The tuple is rotated to start at its
+    smallest node so output order is deterministic.
+    """
+    graph: dict[str, list[str]] = {n: [] for n in nodes}
+    for (a, b) in edges:
+        graph[a].append(b)
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = [0]
+    sccs: list[list[str]] = []
+
+    def strongconnect(v: str) -> None:
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        for w in graph[v]:
+            if w not in index:
+                strongconnect(w)
+                low[v] = min(low[v], low[w])
+            elif w in on_stack:
+                low[v] = min(low[v], index[w])
+        if low[v] == index[v]:
+            component: list[str] = []
+            while True:
+                w = stack.pop()
+                on_stack.discard(w)
+                component.append(w)
+                if w == v:
+                    break
+            if len(component) > 1:
+                sccs.append(component)
+
+    for node in sorted(nodes):
+        if node not in index:
+            strongconnect(node)
+
+    out: list[tuple[str, ...]] = []
+    for component in sccs:
+        ordered = sorted(component)
+        out.append(tuple(ordered))
+    return sorted(out)
+
+
+@register_rule(
+    "C202",
+    family="concurrency",
+    summary="lock.acquire() not dominated by try/finally release()",
+)
+class AcquireReleaseRule(LintRule):
+    """Flag acquire calls a raised exception would leak."""
+
+    def _visit_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        exempt = node.name in _EXEMPT_FUNCTIONS
+        self._scan(node.body, protected=set(), exempt=exempt)
+        # nested defs are not scanned here (generic_visit reaches them
+        # and they get their own pass with their own exemption).
+        self.generic_visit(node)
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def _acquire_key(self, stmt: ast.stmt) -> str | None:
+        value = None
+        if isinstance(stmt, ast.Expr):
+            value = stmt.value
+        elif isinstance(stmt, ast.Assign):
+            value = stmt.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "acquire"
+        ):
+            return expr_key(value.func.value) or "<lock>"
+        return None
+
+    def _release_keys(self, stmts: list[ast.stmt]) -> set[str]:
+        keys: set[str] = set()
+        for stmt in stmts:
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "release"
+                ):
+                    keys.add(expr_key(node.func.value) or "<lock>")
+        return keys
+
+    def _scan(
+        self, stmts: list[ast.stmt], protected: set[str], exempt: bool
+    ) -> None:
+        for position, stmt in enumerate(stmts):
+            key = self._acquire_key(stmt)
+            if key is not None and not exempt and key not in protected:
+                following = stmts[position + 1: position + 2]
+                guarded = (
+                    following
+                    and isinstance(following[0], ast.Try)
+                    and key in self._release_keys(following[0].finalbody)
+                )
+                if not guarded:
+                    self.report(
+                        stmt,
+                        f"{key}.acquire() is not paired with a "
+                        "try/finally release(); an exception here "
+                        "leaks the lock (or use 'with')",
+                    )
+            if isinstance(stmt, ast.Try):
+                inner = protected | self._release_keys(stmt.finalbody)
+                for block in (stmt.body, stmt.orelse):
+                    self._scan(block, inner, exempt)
+                for handler in stmt.handlers:
+                    self._scan(handler.body, inner, exempt)
+                self._scan(stmt.finalbody, protected, exempt)
+            elif isinstance(
+                stmt, (ast.If, ast.For, ast.AsyncFor, ast.While)
+            ):
+                self._scan(stmt.body, protected, exempt)
+                self._scan(stmt.orelse, protected, exempt)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                self._scan(stmt.body, protected, exempt)
+
+
+__all__ = ["AcquireReleaseRule", "LockOrderRule"]

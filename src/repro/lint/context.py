@@ -1,0 +1,152 @@
+"""Per-module lint context: parsed AST, pragmas, declared contracts.
+
+The linter works on source text alone — modules are parsed, never
+imported, so a lint run cannot execute repo code and synthetic test
+modules need no importable package.  Two comment pragmas steer it:
+
+``# repro: deterministic-contract``
+    Declares that the module promises byte-identical equal-seed
+    behavior; the determinism family's iteration rule (``D101``) only
+    applies inside declaring modules.
+
+``# repro: lint-ignore[D101] reason`` (ids comma-separable)
+    Suppresses the named rule(s) on the pragma's line — or, when the
+    pragma stands on its own line, on the line directly below it.  The
+    reason is mandatory: a reasonless suppression is itself a finding
+    (``P001``) and suppresses nothing, so every grandfathered site
+    carries its justification in the diff that introduced it.
+
+Pragmas are read from the token stream (not regexes over lines), so a
+``# repro:`` inside a string literal is never mistaken for one.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.lint.findings import Finding
+
+_PRAGMA_PREFIX = "repro:"
+_CONTRACT_DIRECTIVE = "deterministic-contract"
+_IGNORE_DIRECTIVE = "lint-ignore"
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed ``# repro: lint-ignore[...]`` comment."""
+
+    line: int
+    rule_ids: tuple[str, ...]
+    reason: str
+
+    @property
+    def valid(self) -> bool:
+        """Only reasoned pragmas suppress anything."""
+        return bool(self.reason) and bool(self.rule_ids)
+
+
+@dataclass
+class ModuleContext:
+    """Everything the rules need to know about one module."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    deterministic_contract: bool = False
+    #: suppression pragmas keyed by the line they sit on.
+    pragmas: dict[int, Pragma] = field(default_factory=dict)
+    #: P001/P003 findings discovered while parsing the pragmas.
+    pragma_findings: list[Finding] = field(default_factory=list)
+
+    @classmethod
+    def from_source(cls, path: str, source: str) -> "ModuleContext":
+        """Parse ``source``; ``ValueError`` on unparsable input."""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            raise ValueError(
+                f"cannot lint {path}: {exc.msg} (line {exc.lineno})"
+            ) from None
+        ctx = cls(path=path, source=source, tree=tree)
+        ctx._read_pragmas()
+        return ctx
+
+    # -- pragma parsing ----------------------------------------------------
+
+    def _read_pragmas(self) -> None:
+        for line, comment in _comments(self.source):
+            body = comment.lstrip("#").strip()
+            if not body.startswith(_PRAGMA_PREFIX):
+                continue
+            directive = body[len(_PRAGMA_PREFIX):].strip()
+            if (
+                directive == _CONTRACT_DIRECTIVE
+                or directive.startswith(_CONTRACT_DIRECTIVE + " ")
+            ):
+                # trailing prose after the directive is welcome — the
+                # marker usually explains *which* contract it declares.
+                self.deterministic_contract = True
+            elif directive.startswith(_IGNORE_DIRECTIVE):
+                self._read_ignore(line, directive[len(_IGNORE_DIRECTIVE):])
+            else:
+                self.pragma_findings.append(Finding(
+                    self.path, line, "P003",
+                    f"unknown pragma {directive.split()[0]!r}; known: "
+                    f"'{_CONTRACT_DIRECTIVE}', "
+                    f"'{_IGNORE_DIRECTIVE}[RULE-ID] reason'",
+                ))
+
+    def _read_ignore(self, line: int, rest: str) -> None:
+        rest = rest.strip()
+        if not rest.startswith("[") or "]" not in rest:
+            self.pragma_findings.append(Finding(
+                self.path, line, "P003",
+                "malformed lint-ignore pragma; expected "
+                "'# repro: lint-ignore[RULE-ID] reason'",
+            ))
+            return
+        ids_text, _, reason = rest[1:].partition("]")
+        rule_ids = tuple(
+            part.strip() for part in ids_text.split(",") if part.strip()
+        )
+        pragma = Pragma(line, rule_ids, reason.strip())
+        if not pragma.valid:
+            self.pragma_findings.append(Finding(
+                self.path, line, "P001",
+                "lint-ignore pragma needs a reason: "
+                "'# repro: lint-ignore[RULE-ID] why this is safe'",
+            ))
+            return
+        self.pragmas[line] = pragma
+
+    # -- suppression query -------------------------------------------------
+
+    def suppresses(self, rule_id: str, line: int) -> bool:
+        """A valid pragma on ``line`` (or standing alone directly above
+        it) names ``rule_id``."""
+        for candidate in (line, line - 1):
+            pragma = self.pragmas.get(candidate)
+            if pragma is not None and rule_id in pragma.rule_ids:
+                return True
+        return False
+
+
+def _comments(source: str) -> Iterator[tuple[int, str]]:
+    """``(line, text)`` for every comment token in ``source``."""
+    readline = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(readline):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except tokenize.TokenError:
+        # A tokenizer hiccup on something ast.parse accepted: surface
+        # nothing rather than crash the whole run — the AST rules still
+        # ran, only pragma reading is degraded.
+        return
+
+
+__all__ = ["ModuleContext", "Pragma"]

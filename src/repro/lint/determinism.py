@@ -1,0 +1,379 @@
+"""D-rules: the byte-identical-equal-seed contract, statically.
+
+The repo's standing contract — byte-identical ``as_dict()`` reports,
+traces and audit verdicts for equal seeds (E15–E18) — breaks in three
+well-known ways, each of which slipped into review at least once
+before this linter existed:
+
+``D101``
+    Iteration over an unordered ``set``/``frozenset`` expression in a
+    module declaring ``# repro: deterministic-contract``.  Python set
+    order varies across *processes* (hash randomization), so a
+    same-process test never sees the bug — PR 6 hand-fixed two such
+    sites in ``engine._doom`` / ``_finalize_ready``.  Wrap the
+    iterable in ``sorted(...)`` or suppress with a reason when the
+    consumption is provably order-insensitive.
+
+``D102``
+    A wall-clock read (``time.time`` / ``monotonic`` /
+    ``perf_counter`` and friends) anywhere outside the sanctioned
+    seam :mod:`repro.obs.clock`.  Elapsed-time fields are legitimate,
+    but only through the seam — that is what keeps "who may look at
+    the clock" a one-module audit.
+
+``D103``
+    Unseeded randomness: ``random.Random()`` with no seed, or any
+    call through the process-global ``random.*`` functions.  Seeded
+    generators threaded through the call graph are the workload
+    registry's whole reproducibility story.
+
+D101 is deliberately heuristic: it types expressions syntactically
+(literals, ``set()``/``frozenset()`` calls, set operators, locals and
+``self`` attributes assigned such expressions) rather than running
+type inference.  It catches the bug class that actually bit; the
+pragma escape hatch covers the order-insensitive remainder.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext
+from repro.lint.registry import LintRule, register_rule
+
+#: the one module allowed to read the wall clock.
+CLOCK_SEAM = "repro/obs/clock.py"
+
+#: set-producing builtins and set-algebra method names.
+_SET_BUILTINS = {"set", "frozenset"}
+_SET_METHODS = {
+    "union", "intersection", "difference", "symmetric_difference",
+}
+#: set-valued annotation heads (``doomed: set[TxnAttempt]`` …).
+_SET_ANNOTATIONS = {"set", "frozenset", "Set", "FrozenSet", "AbstractSet"}
+#: calls whose argument order cannot matter — never flagged.
+_ORDER_SENSITIVE_CONSUMERS = {
+    "list", "tuple", "enumerate", "iter", "reversed",
+}
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+_CLOCK_ATTRS = {
+    "time", "monotonic", "perf_counter", "process_time", "thread_time",
+    "time_ns", "monotonic_ns", "perf_counter_ns", "process_time_ns",
+}
+_GLOBAL_RNG_FUNCS = {
+    "betavariate", "choice", "choices", "expovariate", "gauss",
+    "getrandbits", "randbytes", "randint", "random", "randrange",
+    "sample", "seed", "shuffle", "triangular", "uniform",
+}
+
+
+def _own_scope_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+    """Yield ``scope``'s statements without entering nested scopes."""
+    stack = list(getattr(scope, "body", []))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (
+            ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda,
+        )):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_set_annotation(node: ast.expr | None) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):  # typing.Set[...]
+        return node.attr in _SET_ANNOTATIONS
+    return isinstance(node, ast.Name) and node.id in _SET_ANNOTATIONS
+
+
+@register_rule(
+    "D101",
+    family="determinism",
+    summary="unordered set iteration in a deterministic-contract module",
+)
+class UnorderedIterationRule(LintRule):
+    """Flag iteration whose order the runtime does not define."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._scopes: list[set[str]] = []
+        #: attribute names assigned a set expression anywhere in the
+        #: module (``self._pending = set()`` marks ``_pending``).
+        self._set_attrs: set[str] = set()
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.deterministic_contract
+
+    # -- scope bookkeeping -------------------------------------------------
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._set_attrs = self._collect_set_attrs(node)
+        self._scopes = [self._collect_set_names(node)]
+        self.generic_visit(node)
+
+    def _visit_scope(self, node: ast.AST) -> None:
+        self._scopes.append(self._collect_set_names(node))
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    visit_FunctionDef = _visit_scope
+    visit_AsyncFunctionDef = _visit_scope
+    visit_ClassDef = _visit_scope
+
+    def _collect_set_names(self, scope: ast.AST) -> set[str]:
+        """Names bound to set expressions directly in ``scope``.
+
+        Nested function/class bodies are *not* descended into — a name
+        bound to a set inside one method must not shadow the same name
+        used as a plain parameter in a sibling method (Python scoping
+        agrees: class-body bindings are invisible inside methods).
+        """
+        names: set[str] = set()
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for arg in ast.walk(scope.args):
+                if isinstance(arg, ast.arg) and _is_set_annotation(
+                    arg.annotation
+                ):
+                    names.add(arg.arg)
+        for stmt in _own_scope_nodes(scope):
+            if isinstance(stmt, ast.Assign):
+                if self._is_set_expr(stmt.value, extra=names):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            names.add(target.id)
+            elif isinstance(stmt, ast.AnnAssign):
+                if isinstance(stmt.target, ast.Name) and (
+                    _is_set_annotation(stmt.annotation)
+                    or self._is_set_expr(stmt.value, extra=names)
+                ):
+                    names.add(stmt.target.id)
+        return names
+
+    def _collect_set_attrs(self, module: ast.Module) -> set[str]:
+        attrs: set[str] = set()
+        for stmt in ast.walk(module):
+            value = None
+            targets: list[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                value, targets = stmt.value, stmt.targets
+            elif isinstance(stmt, ast.AnnAssign):
+                value, targets = stmt.value, [stmt.target]
+                if _is_set_annotation(stmt.annotation):
+                    value = ast.Set(elts=[])  # annotation is proof enough
+            for target in targets:
+                if isinstance(target, ast.Attribute) and (
+                    value is not None
+                    and self._is_set_expr(value, extra=set())
+                ):
+                    attrs.add(target.attr)
+        return attrs
+
+    # -- set-typing heuristic ----------------------------------------------
+
+    def _is_set_expr(
+        self, node: ast.expr | None, extra: set[str] | None = None
+    ) -> bool:
+        if node is None:
+            return False
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name):
+                return node.func.id in _SET_BUILTINS
+            if isinstance(node.func, ast.Attribute):
+                if node.func.attr in _SET_METHODS:
+                    return True
+                if node.func.attr == "copy":
+                    return self._is_set_expr(node.func.value, extra)
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+            return (
+                self._is_set_expr(node.left, extra)
+                or self._is_set_expr(node.right, extra)
+            )
+        if isinstance(node, ast.IfExp):
+            return (
+                self._is_set_expr(node.body, extra)
+                or self._is_set_expr(node.orelse, extra)
+            )
+        if isinstance(node, ast.Name):
+            if extra is not None and node.id in extra:
+                return True
+            return any(node.id in scope for scope in self._scopes)
+        if isinstance(node, ast.Attribute):
+            return node.attr in self._set_attrs
+        return False
+
+    # -- the order-sensitive consumption sites -----------------------------
+
+    def _flag(self, node: ast.expr, how: str) -> None:
+        if self._is_set_expr(node):
+            self.report(
+                node,
+                f"{how} iterates a set in undefined order; wrap it in "
+                "sorted(...) or suppress with a reasoned "
+                "lint-ignore[D101] if consumption is order-insensitive",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._flag(node.iter, "for loop")
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._flag(node.iter, "for loop")
+        self.generic_visit(node)
+
+    def _visit_comp(
+        self,
+        node: ast.ListComp | ast.DictComp | ast.GeneratorExp,
+        label: str,
+    ) -> None:
+        for generator in node.generators:
+            self._flag(generator.iter, label)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comp(node, "list comprehension")
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comp(node, "dict comprehension")
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comp(node, "generator expression")
+
+    # a set comprehension over a set stays a set: order cannot escape.
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in _ORDER_SENSITIVE_CONSUMERS and node.args:
+                self._flag(node.args[0], f"{func.id}()")
+            elif func.id in ("map", "filter") and len(node.args) > 1:
+                for arg in node.args[1:]:
+                    self._flag(arg, f"{func.id}()")
+        elif isinstance(func, ast.Attribute):
+            if func.attr == "join" and node.args:
+                self._flag(node.args[0], "str.join()")
+            elif func.attr == "extend" and node.args:
+                self._flag(node.args[0], "list.extend()")
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.op, ast.Add):
+            self._flag(node.value, "augmented assignment")
+        self.generic_visit(node)
+
+
+@register_rule(
+    "D102",
+    family="determinism",
+    summary="wall-clock read outside the sanctioned repro.obs.clock seam",
+)
+class WallClockRule(LintRule):
+    """Flag direct ``time`` clock reads outside :data:`CLOCK_SEAM`."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._time_aliases: set[str] = set()
+        self._clock_names: set[str] = set()
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return not ctx.path.replace("\\", "/").endswith(CLOCK_SEAM)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "time":
+                self._time_aliases.add(alias.asname or "time")
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in _CLOCK_ATTRS:
+                    self._clock_names.add(alias.asname or alias.name)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        bad = None
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self._time_aliases
+            and func.attr in _CLOCK_ATTRS
+        ):
+            bad = f"time.{func.attr}"
+        elif isinstance(func, ast.Name) and func.id in self._clock_names:
+            bad = func.id
+        if bad is not None:
+            self.report(
+                node,
+                f"{bad}() read outside the sanctioned clock seam; route "
+                "it through repro.obs.clock (perf_clock/wall_clock_us)",
+            )
+        self.generic_visit(node)
+
+
+@register_rule(
+    "D103",
+    family="determinism",
+    summary="unseeded or process-global randomness",
+)
+class UnseededRandomRule(LintRule):
+    """Flag ``random.Random()`` without a seed and ``random.*()`` use."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._random_aliases: set[str] = set()
+        self._global_fn_names: set[str] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random":
+                self._random_aliases.add(alias.asname or "random")
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name in _GLOBAL_RNG_FUNCS:
+                    self._global_fn_names.add(alias.asname or alias.name)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self._random_aliases
+        ):
+            if func.attr == "Random" and not node.args and not node.keywords:
+                self.report(
+                    node,
+                    "random.Random() without a seed is irreproducible; "
+                    "pass the run's seed",
+                )
+            elif func.attr in _GLOBAL_RNG_FUNCS:
+                self.report(
+                    node,
+                    f"random.{func.attr}() uses the process-global "
+                    "unseeded RNG; thread a seeded random.Random through",
+                )
+        elif isinstance(func, ast.Name) and func.id in self._global_fn_names:
+            self.report(
+                node,
+                f"{func.id}() from the random module uses the process-"
+                "global unseeded RNG; thread a seeded random.Random "
+                "through",
+            )
+        self.generic_visit(node)
+
+
+__all__ = [
+    "CLOCK_SEAM",
+    "UnorderedIterationRule",
+    "UnseededRandomRule",
+    "WallClockRule",
+]

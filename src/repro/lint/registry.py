@@ -1,0 +1,159 @@
+"""The rule registry: one ``register_rule`` call per rule.
+
+Mirrors the backend / scenario / suite registries: a rule plugs in
+with a single decorator application, declarations are validated at
+registration time, and unknown names fail listing the valid ones.  A
+third-party rule is exactly one class plus one registration —
+``tests/lint/test_rule_registry.py`` proves it.
+
+A rule is an :class:`ast.NodeVisitor` producing :class:`Finding`\\ s:
+the runner instantiates each selected rule once per run, calls
+:meth:`LintRule.check_module` per module (sorted path order, so lint
+output is deterministic), then :meth:`LintRule.finalize` for
+cross-module analyses (the lock-order graph accumulates edges module
+by module and reports cycles only once it has seen everything).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Callable, Iterator, Type
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import META_RULES, Finding
+
+#: rule ids are short and grep-friendly: a family letter + 3 digits.
+_RULE_ID = re.compile(r"^[A-Z]{1,8}[0-9]{3}$")
+
+
+class LintRule(ast.NodeVisitor):
+    """Base class every rule extends.
+
+    Subclasses visit nodes and call :meth:`report`; ``rule_id`` and
+    ``summary`` are stamped on by :func:`register_rule`.  Override
+    :meth:`applies` to scope a rule (``D101`` only runs in modules
+    declaring the deterministic contract) and :meth:`finalize` for
+    whole-run findings.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+
+    def __init__(self) -> None:
+        self.findings: list[Finding] = []
+        self.ctx: ModuleContext | None = None
+
+    # -- the runner's entry points ----------------------------------------
+
+    def check_module(self, ctx: ModuleContext) -> list[Finding]:
+        """Visit one module; returns the findings it produced there."""
+        self.ctx = ctx
+        before = len(self.findings)
+        if self.applies(ctx):
+            self.visit(ctx.tree)
+        return self.findings[before:]
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        """Whether this rule runs on ``ctx`` at all (default: yes)."""
+        return True
+
+    def finalize(self) -> list[Finding]:
+        """Cross-module findings, once every module has been seen."""
+        return []
+
+    # -- helpers for subclasses -------------------------------------------
+
+    def report(self, node: ast.AST | int, message: str) -> None:
+        line = node if isinstance(node, int) else node.lineno
+        assert self.ctx is not None
+        self.findings.append(
+            Finding(self.ctx.path, line, self.rule_id, message)
+        )
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """One registry entry: id, family, summary, and how to build it."""
+
+    rule_id: str
+    family: str
+    summary: str
+    factory: Callable[[], LintRule]
+
+
+_RULES: dict[str, RuleSpec] = {}
+
+
+def register_rule(
+    rule_id: str, *, family: str, summary: str
+) -> Callable[[Type[LintRule]], Type[LintRule]]:
+    """Class decorator registering one rule under ``rule_id``.
+
+    Validates at registration (the registries' shared contract):
+    well-formed id, no collision with registered rules or the reserved
+    meta codes, non-empty family and summary.
+    """
+    if not _RULE_ID.match(rule_id):
+        raise ValueError(
+            f"rule id {rule_id!r} must match {_RULE_ID.pattern}"
+        )
+    if rule_id in META_RULES:
+        raise ValueError(
+            f"rule id {rule_id!r} is reserved for lint meta findings"
+        )
+    if rule_id in _RULES:
+        raise ValueError(f"rule id {rule_id!r} is already registered")
+    if not family or not summary:
+        raise ValueError("rules need a non-empty family and summary")
+
+    def decorate(cls: Type[LintRule]) -> Type[LintRule]:
+        if not issubclass(cls, LintRule):
+            raise ValueError(
+                f"rule {rule_id!r} must subclass LintRule, "
+                f"got {cls!r}"
+            )
+        cls.rule_id = rule_id
+        cls.summary = summary
+        _RULES[rule_id] = RuleSpec(rule_id, family, summary, cls)
+        return cls
+
+    return decorate
+
+
+def rule_ids() -> list[str]:
+    """Registered rule ids, sorted."""
+    return sorted(_RULES)
+
+
+def get_rule(rule_id: str) -> RuleSpec:
+    """The spec for ``rule_id``; ``ValueError`` names the valid ids."""
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown lint rule {rule_id!r}; registered: {rule_ids()}"
+        ) from None
+
+
+def rule_specs() -> Iterator[RuleSpec]:
+    """All registered specs in id order."""
+    for rule_id in rule_ids():
+        yield _RULES[rule_id]
+
+
+def unregister_rule(rule_id: str) -> None:
+    """Remove a rule (tests unwind their demo registrations)."""
+    _RULES.pop(rule_id, None)
+
+
+__all__ = [
+    "LintRule",
+    "RuleSpec",
+    "get_rule",
+    "register_rule",
+    "rule_ids",
+    "rule_specs",
+    "unregister_rule",
+]

@@ -12,6 +12,8 @@ plan-vs-execute overlap renders as two lanes whose spans visibly
 interleave.  ``docs/observability.md`` walks the round trip.
 """
 
+# repro: deterministic-contract — equal seeds must yield byte-identical output
+
 from __future__ import annotations
 
 import json

@@ -16,6 +16,8 @@ as every ``as_dict``): two equal-seed deterministic runs produce
 byte-identical telemetry.
 """
 
+# repro: deterministic-contract — equal seeds must yield byte-identical output
+
 from __future__ import annotations
 
 from typing import Iterable, Sequence

@@ -13,6 +13,8 @@ runs, microseconds otherwise (the meta/summary carries no unit — the
 trace's determinism decides it, exactly as for latency).
 """
 
+# repro: deterministic-contract — equal seeds must yield byte-identical output
+
 from __future__ import annotations
 
 from typing import Iterable

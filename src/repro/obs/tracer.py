@@ -21,13 +21,16 @@ Two contracts shape the design:
   attribute check per hook and builds no event objects.
 """
 
+# repro: deterministic-contract — equal seeds must yield byte-identical output
+
 from __future__ import annotations
 
 import threading
-import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
+
+from repro.obs.clock import wall_clock_us
 
 #: event kinds, following the Chrome trace-viewer phase letters:
 #: ``B``/``E`` bracket a span on one track, ``I`` is an instant.
@@ -177,8 +180,7 @@ class Tracer:
     ) -> None:
         self.log = EventLog(capacity)
         if clock is None:
-            started = time.perf_counter()
-            clock = lambda: int((time.perf_counter() - started) * 1e6)  # noqa: E731
+            clock = wall_clock_us()
         self._clock = clock
         self._sinks: tuple[Callable[[TraceEvent], None], ...] = ()
 

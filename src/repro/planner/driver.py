@@ -31,14 +31,15 @@ plan, same settle rule, planning moved off the execution's critical
 path.
 """
 
-from __future__ import annotations
+# repro: deterministic-contract — equal seeds must yield byte-identical output
 
-import time
+from __future__ import annotations
 
 from repro.engine.errors import EngineError
 from repro.engine.gc import WatermarkGC
 from repro.model.schedules import T_INIT
 from repro.model.steps import Entity
+from repro.obs.clock import perf_clock
 from repro.obs import NULL_TRACER
 from repro.planner.executor import (
     COMMITTED,
@@ -151,7 +152,7 @@ class BatchPlanner:
             # The planner's tick counts admissions and settles and is
             # identical across runs — the deterministic trace clock.
             self.tracer.use_clock(lambda: engine.ticks)
-        started = time.perf_counter()
+        started = perf_clock()
         batch: list = []
         born: list[int] = []
         tracing = self.tracer.enabled
@@ -170,7 +171,7 @@ class BatchPlanner:
                 batch, born = [], []
         if batch:
             self._run_batch(batch, born)
-        engine.elapsed = time.perf_counter() - started
+        engine.elapsed = perf_clock() - started
         return self.metrics
 
     # -- one batch ---------------------------------------------------------

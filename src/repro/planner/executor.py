@@ -24,6 +24,8 @@ Two modes, mirroring :class:`repro.runtime.worker.ShardWorker`:
   timestamps, and the smallest unfinished transaction never waits.
 """
 
+# repro: deterministic-contract — equal seeds must yield byte-identical output
+
 from __future__ import annotations
 
 import threading

@@ -15,6 +15,8 @@ wall-clock fields, so two same-seed deterministic runs serialize
 byte-identically — the same reproducibility contract as the runtime.
 """
 
+# repro: deterministic-contract — equal seeds must yield byte-identical output
+
 from __future__ import annotations
 
 from dataclasses import dataclass, field

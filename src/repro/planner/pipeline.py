@@ -57,10 +57,11 @@ is planned — and with ``lookahead=1`` and a single batch the run *is*
 the sequential planner's, stage by stage.
 """
 
+# repro: deterministic-contract — equal seeds must yield byte-identical output
+
 from __future__ import annotations
 
 import threading
-import time
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -69,6 +70,7 @@ from repro.engine.gc import WatermarkGC
 from repro.model.batching import BatchPlan, ReadBinding
 from repro.model.schedules import T_INIT
 from repro.model.steps import Entity
+from repro.obs.clock import perf_clock
 from repro.obs import NULL_TRACER
 from repro.planner.executor import (
     COMMITTED,
@@ -197,7 +199,7 @@ class PipelinedPlanner:
         if self._ran:
             raise EngineError("a PipelinedPlanner instance is single-use")
         self._ran = True
-        started = time.perf_counter()
+        started = perf_clock()
         self._stream = iter(stream)
         plans: deque[_InFlight] = deque()
         self._refill(plans, target=1)  # prime the pipeline inline
@@ -216,11 +218,11 @@ class PipelinedPlanner:
                     args=(plans, self.lookahead),
                     name="pipeline-plan",
                 )
-                exec_started = time.perf_counter()
+                exec_started = perf_clock()
                 planner.start()
                 try:
                     self._execute(head)
-                    exec_ended = time.perf_counter()
+                    exec_ended = perf_clock()
                 finally:
                     # Always join before unwinding: a failed execute must
                     # not leave the planning stage draining the caller's
@@ -233,19 +235,19 @@ class PipelinedPlanner:
                     raise self._plan_error
                 self._note_overlap(exec_started, exec_ended)
             self._settle(head, plans)
-        self.metrics.engine.elapsed = time.perf_counter() - started
+        self.metrics.engine.elapsed = perf_clock() - started
         return self.metrics
 
     # -- planning stage ----------------------------------------------------
 
     def _refill_timed(self, plans: deque, target: int) -> None:
-        begun = time.perf_counter()
+        begun = perf_clock()
         try:
             planned = self._refill(plans, target)
         except BaseException as error:  # noqa: BLE001 — re-raised by run()
             self._plan_error = error
             return
-        self._plan_span = (begun, time.perf_counter(), planned)
+        self._plan_span = (begun, perf_clock(), planned)
 
     def _note_overlap(self, exec_started: float, exec_ended: float) -> None:
         if not self._plan_span:

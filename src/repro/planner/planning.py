@@ -25,6 +25,8 @@ partitions inline in index order; both modes produce the identical plan,
 because the walk of one entity depends on nothing outside that entity.
 """
 
+# repro: deterministic-contract — equal seeds must yield byte-identical output
+
 from __future__ import annotations
 
 import threading
@@ -166,6 +168,7 @@ def plan_batch(
         ptxn.deps = deps
         planned.append(ptxn)
         dep_map[ptxn.txn] = set(deps)
+        # repro: lint-ignore[D101] readers is only ever .get()-queried
         for dep in deps:
             readers.setdefault(dep, set()).add(ptxn.txn)
     return BatchPlan(planned, dep_map, readers)

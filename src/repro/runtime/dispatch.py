@@ -47,12 +47,13 @@ fixed order, and two same-seed runs produce byte-identical
 Threaded mode trades that for real pipelining across workers.
 """
 
+# repro: deterministic-contract — equal seeds must yield byte-identical output
+
 from __future__ import annotations
 
 import enum
 import itertools
 import random
-import time
 from dataclasses import dataclass, field
 
 from repro.engine.engine import OnlineEngine, TxnState
@@ -61,6 +62,7 @@ from repro.engine.factory import scheduler_factory
 from repro.engine.retry import RetryPolicy
 from repro.model.steps import Entity, TxnId
 from repro.model.transactions import Transaction
+from repro.obs.clock import perf_clock
 from repro.obs import NULL_TRACER
 from repro.storage.executor import Program, write_value
 from repro.storage.sharded import ShardedMultiversionStore, shard_of
@@ -238,7 +240,7 @@ class ShardRuntime:
         if self._ran:
             raise EngineError("a ShardRuntime instance is single-use")
         self._ran = True
-        started = time.perf_counter()
+        started = perf_clock()
         for worker in self.workers:
             worker.start()
         stream = iter(stream)
@@ -290,7 +292,7 @@ class ShardRuntime:
                 worker.stop()
         self.metrics.per_worker = per_worker
         self.metrics.shard_stats = self.store.snapshot_stats()
-        self.metrics.elapsed = time.perf_counter() - started
+        self.metrics.elapsed = perf_clock() - started
         return self.metrics
 
     def _wait_for_any(self) -> None:

@@ -18,6 +18,8 @@ one batch instead of deadlocking: inside the batch, each per-shard engine
 orders the actual commits by its local read-from dependencies.
 """
 
+# repro: deterministic-contract — equal seeds must yield byte-identical output
+
 from __future__ import annotations
 
 from typing import Callable, Hashable, Iterable
@@ -108,6 +110,7 @@ class GroupCommitLog:
         changed = True
         while changed:
             changed = False
+            # repro: lint-ignore[D101] fixpoint is discard-order-free
             for key in list(committed):
                 unmet = dep_map.get(key, set()) - committed
                 if unmet:

@@ -12,6 +12,8 @@ same-seed deterministic runs serialize byte-identically — that is the
 reproducibility contract ``repro runtime --deterministic`` tests against.
 """
 
+# repro: deterministic-contract — equal seeds must yield byte-identical output
+
 from __future__ import annotations
 
 from dataclasses import dataclass, field

@@ -22,6 +22,8 @@ count as a stored version until filled: ``version_count`` and every
 aggregate built on it report only materialized versions.
 """
 
+# repro: deterministic-contract — equal seeds must yield byte-identical output
+
 from __future__ import annotations
 
 import enum

@@ -21,6 +21,8 @@ while already holding its own shard.  Single-threaded users pay one
 uncontended acquire per aggregate call, which is noise.
 """
 
+# repro: deterministic-contract — equal seeds must yield byte-identical output
+
 from __future__ import annotations
 
 import threading

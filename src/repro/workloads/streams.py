@@ -16,6 +16,8 @@ Two kinds of streams live here:
   those reads is a potential abort under optimistic execution.
 """
 
+# repro: deterministic-contract — equal seeds must yield byte-identical output
+
 from __future__ import annotations
 
 import random

@@ -47,6 +47,7 @@ def test_docs_exist_and_carry_snippets():
     assert {
         "README.md", "paper-map.md", "backend-authors.md",
         "execution-modes.md", "observability.md", "benchmarks.md",
+        "static-analysis.md",
     } <= names
     assert len(snippets()) >= 5
 

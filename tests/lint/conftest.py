@@ -1,0 +1,9 @@
+import pathlib
+
+import pytest
+
+
+@pytest.fixture
+def repo_root():
+    """The repository checkout the self-gate tests lint."""
+    return pathlib.Path(__file__).resolve().parents[2]

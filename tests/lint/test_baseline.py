@@ -1,0 +1,102 @@
+"""The committed baseline: grandfathers findings, only ever shrinks."""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    baseline_document,
+    lint_sources,
+    load_baseline,
+    write_baseline,
+)
+
+CONTRACT = "# repro: deterministic-contract\n"
+VIOLATION = CONTRACT + "items = {1, 2}\nfor i in items:\n    print(i)\n"
+
+
+def lint(baseline=None):
+    return lint_sources([("mod.py", VIOLATION)], baseline=baseline)
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        findings = lint().findings
+        write_baseline(findings, path)
+        entries = load_baseline(path)
+        assert len(entries) == 1
+        assert entries[0]["rule"] == "D101"
+        assert entries[0]["path"] == "mod.py"
+        assert "line" not in entries[0]  # entries survive reformatting
+
+    def test_document_shape(self):
+        doc = baseline_document(lint().findings)
+        assert doc["version"] == "repro.lint/v1"
+        assert [sorted(e) for e in doc["entries"]] == [
+            ["message", "path", "rule"]
+        ]
+
+
+class TestApplication:
+    def test_baselined_finding_is_absorbed(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline(lint().findings, path)
+        report = lint(baseline=path)
+        assert report.ok
+        assert report.baselined == 1
+
+    def test_stale_entry_becomes_b001(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline(lint().findings, path)
+        # the violation gets fixed, the baseline entry does not…
+        report = lint_sources(
+            [("mod.py", CONTRACT + "items = {1, 2}\n")], baseline=path
+        )
+        assert [f.rule_id for f in report.findings] == ["B001"]
+        assert "stale baseline entry" in report.findings[0].message
+        assert report.findings[0].path == path
+
+    def test_each_entry_absorbs_exactly_one_finding(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline(lint().findings, path)
+        double = CONTRACT + (
+            "items = {1, 2}\n"
+            "for i in items:\n"
+            "    print(i)\n"
+            "for i in items:\n"
+            "    print(i)\n"
+        )
+        report = lint_sources([("mod.py", double)], baseline=path)
+        # one grandfathered, one new — the baseline cannot grow cover.
+        assert report.baselined == 1
+        assert [f.rule_id for f in report.findings] == ["D101"]
+
+
+class TestValidation:
+    def test_missing_file_is_a_value_error(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read baseline"):
+            load_baseline(str(tmp_path / "absent.json"))
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": "v0", "entries": []}))
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(str(path))
+
+    def test_malformed_entry_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({
+            "version": "repro.lint/v1",
+            "entries": [{"rule": "D101"}],
+        }))
+        with pytest.raises(ValueError):
+            load_baseline(str(path))
+
+
+class TestCommittedBaseline:
+    def test_repo_baseline_is_empty(self, repo_root):
+        # the self-gate starts green: every finding is fixed or carries
+        # a reasoned pragma; nothing is grandfathered.
+        entries = load_baseline(str(repo_root / "lint-baseline.json"))
+        assert entries == []

@@ -1,0 +1,134 @@
+"""The suppression pragma: reasons mandatory, hygiene findings always on."""
+
+import textwrap
+
+from repro.lint import lint_sources
+
+CONTRACT = "# repro: deterministic-contract\n"
+
+
+def lint_one(source, **kwargs):
+    # the contract marker is prepended unindented; dedent the rest.
+    if source.startswith(CONTRACT):
+        source = CONTRACT + textwrap.dedent(source[len(CONTRACT):])
+    else:
+        source = textwrap.dedent(source)
+    return lint_sources([("mod.py", source)], **kwargs)
+
+
+class TestSuppression:
+    def test_trailing_pragma_suppresses_the_line(self):
+        report = lint_one(CONTRACT + """\
+            items = {1, 2}
+            for i in items:  # repro: lint-ignore[D101] order-insensitive sum
+                print(i)
+            """)
+        assert report.ok
+        assert report.suppressed == 1
+
+    def test_standalone_pragma_suppresses_the_next_line(self):
+        report = lint_one(CONTRACT + """\
+            items = {1, 2}
+            # repro: lint-ignore[D101] order-insensitive sum
+            for i in items:
+                print(i)
+            """)
+        assert report.ok
+        assert report.suppressed == 1
+
+    def test_pragma_only_covers_adjacent_lines(self):
+        report = lint_one(CONTRACT + """\
+            items = {1, 2}
+            # repro: lint-ignore[D101] too far away to help
+            x = 1
+            for i in items:
+                print(i)
+            """)
+        assert [f.rule_id for f in report.findings] == ["D101"]
+
+    def test_pragma_only_suppresses_named_rules(self):
+        report = lint_one(CONTRACT + """\
+            import time
+            items = {1, 2}
+            for i in items:  # repro: lint-ignore[D101] order-insensitive
+                t = time.perf_counter()
+            """)
+        assert [f.rule_id for f in report.findings] == ["D102"]
+
+    def test_comma_separated_ids_suppress_both(self):
+        report = lint_one(CONTRACT + """\
+            import time
+            items = {1, 2}
+            for i in sorted(items):
+                pass
+            # repro: lint-ignore[D101, D102] both safe here because reasons
+            t = time.perf_counter() if list({1}) else None
+            """)
+        assert report.ok
+        assert report.suppressed == 2
+
+
+class TestPragmaHygiene:
+    def test_missing_reason_is_p001_and_does_not_suppress(self):
+        report = lint_one(CONTRACT + """\
+            items = {1, 2}
+            for i in items:  # repro: lint-ignore[D101]
+                print(i)
+            """)
+        ids = sorted(f.rule_id for f in report.findings)
+        assert ids == ["D101", "P001"]
+        assert report.suppressed == 0
+
+    def test_unknown_rule_id_is_p002(self):
+        report = lint_one("""\
+            x = 1  # repro: lint-ignore[D999] rule id from the future
+            """)
+        assert [f.rule_id for f in report.findings] == ["P002"]
+        assert "registered" in report.findings[0].message
+
+    def test_malformed_pragma_is_p003(self):
+        report = lint_one("""\
+            x = 1  # repro: lint-ignore D101 forgot the brackets
+            """)
+        assert [f.rule_id for f in report.findings] == ["P003"]
+
+    def test_unknown_directive_is_p003(self):
+        report = lint_one("""\
+            x = 1  # repro: linter-off
+            """)
+        assert [f.rule_id for f in report.findings] == ["P003"]
+
+    def test_hygiene_findings_cannot_be_suppressed(self):
+        # a reasonless pragma cannot silence its own P001.
+        report = lint_one("""\
+            x = 1  # repro: lint-ignore[P001]
+            """)
+        assert [f.rule_id for f in report.findings] == ["P001"]
+
+    def test_pragma_inside_string_literal_ignored(self):
+        report = lint_one("""\
+            text = "# repro: lint-ignore[D101]"
+            """)
+        assert report.ok
+
+
+class TestContractMarker:
+    def test_marker_accepts_trailing_prose(self):
+        report = lint_one(
+            "# repro: deterministic-contract — equal seeds, equal bytes\n"
+            "items = {1, 2}\n"
+            "for i in items:\n"
+            "    print(i)\n"
+        )
+        assert [f.rule_id for f in report.findings] == ["D101"]
+
+    def test_similarly_prefixed_directive_is_not_the_marker(self):
+        report = lint_one(
+            "# repro: deterministic-contractor\n"
+            "items = {1, 2}\n"
+            "for i in items:\n"
+            "    print(i)\n"
+        )
+        # not a contract module, so D101 stays quiet — but the unknown
+        # directive is flagged.
+        assert [f.rule_id for f in report.findings] == ["P003"]

@@ -357,8 +357,12 @@ class TestTrace:
         assert "error:" in capsys.readouterr().err
 
     def test_summarize_missing_file_is_usage_error(self, capsys):
-        assert main(["trace", "summarize", "/tmp/no-such-trace"]) == 2
-        assert "cannot read trace" in capsys.readouterr().err
+        # Rejected at parse time by the shared path validator (the
+        # same seam `repro audit` and `repro lint --baseline` use).
+        with pytest.raises(SystemExit) as exc:
+            main(["trace", "summarize", "/tmp/no-such-trace"])
+        assert exc.value.code == 2
+        assert "no such file" in capsys.readouterr().err
 
     def test_json_carries_telemetry_view(self, capsys):
         assert main([
@@ -650,3 +654,109 @@ class TestAudit:
         path.write_text("hello\n")
         assert main(["audit", str(path)]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+CLEAN_MODULE = "VALUE = 1\n"
+DIRTY_MODULE = (
+    "# repro: deterministic-contract\n"
+    "items = {1, 2}\n"
+    "for item in items:\n"
+    "    print(item)\n"
+)
+
+
+class TestLint:
+    """The `lint` subcommand: exit codes 0/1/2, JSON, baselines."""
+
+    def test_clean_tree_exits_0(self, capsys, tmp_path):
+        (tmp_path / "mod.py").write_text(CLEAN_MODULE)
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_1_and_name_the_rule(self, capsys, tmp_path):
+        (tmp_path / "mod.py").write_text(DIRTY_MODULE)
+        assert main(["lint", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "D101" in out
+        assert "mod.py:3" in out
+
+    def test_unknown_rule_is_usage_error(self, capsys, tmp_path):
+        (tmp_path / "mod.py").write_text(CLEAN_MODULE)
+        assert main(["lint", str(tmp_path), "--select", "NOPE"]) == 2
+        assert "registered" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, capsys, tmp_path):
+        assert main(["lint", str(tmp_path / "absent")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_select_and_ignore_narrow_the_run(self, capsys, tmp_path):
+        (tmp_path / "mod.py").write_text(DIRTY_MODULE)
+        assert main([
+            "lint", str(tmp_path), "--select", "D101", "--ignore", "D101",
+        ]) == 0
+        assert "0 rule(s)" in capsys.readouterr().out
+
+    def test_json_report_is_machine_readable(self, capsys, tmp_path):
+        (tmp_path / "mod.py").write_text(DIRTY_MODULE)
+        report_path = str(tmp_path / "LINT.json")
+        assert main(["lint", str(tmp_path), "--json", report_path]) == 1
+        with open(report_path, encoding="utf-8") as source:
+            doc = json.load(source)
+        assert doc["version"] == "repro.lint/v1"
+        assert doc["ok"] is False
+        assert [f["rule"] for f in doc["findings"]] == ["D101"]
+        # fixed key order — byte-stable reports, like every record here.
+        assert list(doc) == [
+            "version", "files", "rules", "findings", "suppressed",
+            "baselined", "ok",
+        ]
+
+    def test_write_baseline_then_gate_goes_green(self, capsys, tmp_path):
+        (tmp_path / "mod.py").write_text(DIRTY_MODULE)
+        baseline = str(tmp_path / "baseline.json")
+        assert main([
+            "lint", str(tmp_path / "mod.py"), "--write-baseline", baseline,
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "lint", str(tmp_path / "mod.py"), "--baseline", baseline,
+        ]) == 0
+        assert "baselined 1" in capsys.readouterr().out
+
+    def test_stale_baseline_fails_the_gate(self, capsys, tmp_path):
+        (tmp_path / "mod.py").write_text(DIRTY_MODULE)
+        baseline = str(tmp_path / "baseline.json")
+        assert main([
+            "lint", str(tmp_path / "mod.py"), "--write-baseline", baseline,
+        ]) == 0
+        (tmp_path / "mod.py").write_text(CLEAN_MODULE)
+        capsys.readouterr()
+        assert main([
+            "lint", str(tmp_path / "mod.py"), "--baseline", baseline,
+        ]) == 1
+        assert "stale baseline entry" in capsys.readouterr().out
+
+
+class TestSharedPathValidation:
+    """`lint --baseline` and `audit` share one parse-time path check."""
+
+    def extract(self, capsys, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        # strip "usage: ..." and the "repro <cmd>: error: argument X: "
+        # prefix, leaving just the type-check's own message.
+        return err.splitlines()[-1].split(": ", 3)[3]
+
+    def test_identical_error_text_for_a_missing_file(self, capsys, tmp_path):
+        missing = str(tmp_path / "absent.jsonl")
+        audit_msg = self.extract(capsys, ["audit", missing])
+        lint_msg = self.extract(
+            capsys, ["lint", "--baseline", missing, str(tmp_path)]
+        )
+        trace_msg = self.extract(
+            capsys, ["trace", "summarize", missing]
+        )
+        assert audit_msg == lint_msg == trace_msg
+        assert audit_msg == f"no such file: '{missing}'"
