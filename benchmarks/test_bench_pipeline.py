@@ -149,6 +149,35 @@ def test_bench_pipeline(benchmark, table_writer, bench_document_writer):
                 wname, lookahead,
             )
 
+    # Headline 4: re-executed schedules keep the plan-equivalence
+    # contract.  On the abort-heavy stream both abort-free modes
+    # re-execute (not cascade), commit the same set, stay CC-abort
+    # free, and serialize byte-identical native metrics — re-execution
+    # changes neither determinism nor the cross-mode agreement, and a
+    # re-run of either case reproduces its record byte-for-byte.
+    planner_ah = by_id["abort-heavy/planner/reexec-det"].representative
+    pipelined_ah = by_id["abort-heavy/pipelined/reexec-det"].representative
+    for r in (planner_ah, pipelined_ah):
+        assert r.cc_aborts == 0
+        assert r.metrics.reexecuted > 0
+        assert r.metrics.cascade_aborted == 0
+        assert r.metrics.logic_aborted > 0
+        assert r.committed < r.submitted == N_TXNS
+    assert planner_ah.committed == pipelined_ah.committed
+    assert json.dumps(planner_ah.metrics.as_dict()) == json.dumps(
+        pipelined_ah.metrics.as_dict()
+    )
+    for case_id in (
+        "abort-heavy/planner/reexec-det",
+        "abort-heavy/pipelined/reexec-det",
+    ):
+        case = SUITE.case(case_id)
+        first = make_record("e18", by_id[case_id], sha="pinned")
+        again = make_record(
+            "e18", run_case(case, txns=N_TXNS), sha="pinned"
+        )
+        assert json.dumps(first) == json.dumps(again), case_id
+
     table_writer(
         "E18_pipeline",
         "pipelined planner vs sequential batch planner "

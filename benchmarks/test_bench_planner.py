@@ -125,11 +125,50 @@ def test_bench_planner(benchmark, table_writer, bench_document_writer):
                 serial.throughput,
             )
 
+    # The re-execution claim (abort-heavy column): the planner with
+    # re-execution strictly beats the poison cascade on committed
+    # transactions, matches the serial engine's committed set size
+    # (both realize the serial-oracle outcome), and neither planner
+    # run pays a single concurrency-control abort.
+    serial_ah = report["abort-heavy/serial"]
+    cascade = report["abort-heavy/planner/cascade"]
+    reexec = report["abort-heavy/planner/reexec"]
+    for label, m in (
+        ("serial", serial_ah), ("planner-cascade", cascade),
+        ("planner-reexec", reexec),
+    ):
+        rows.append(
+            {
+                "workload": "abort-heavy",
+                "mode": label,
+                "workers": 4,
+                "committed": m.committed,
+                "txn/s": round(m.throughput),
+                "speedup": round(
+                    m.throughput / serial_ah.throughput, 2
+                ) if serial_ah.throughput else "-",
+                "cc_aborts": m.cc_aborts,
+                "lat_mean": round(m.latency.mean, 1),
+                "lat_p50": m.latency.p50,
+                "lat_p95": m.latency.p95,
+                "lat_p99": m.latency.p99,
+            }
+        )
+    assert reexec.cc_aborts == cascade.cc_aborts == 0
+    assert reexec.committed > cascade.committed
+    assert reexec.committed == serial_ah.committed
+    assert reexec.metrics.reexecuted > 0
+    assert reexec.metrics.cascade_aborted == 0
+    assert cascade.metrics.cascade_aborted > 0
+    assert cascade.metrics.reexecuted == 0
+
     # Reproducibility: same seed, deterministic mode, byte-identical
     # bench record — the planner's determinism contract, now pinned at
     # the record level (what `repro bench compare` consumes).
-    for wname in WORKLOADS:
-        case = SUITE.case(f"{wname}/planner/w4/det")
+    for wname, case_id in [
+        (wname, f"{wname}/planner/w4/det") for wname in WORKLOADS
+    ] + [("abort-heavy", "abort-heavy/planner/reexec")]:
+        case = SUITE.case(case_id)
         first = make_record(
             "e17", by_id[case.case_id], sha="pinned"
         )

@@ -148,6 +148,12 @@ _READ_MOSTLY = {
     "n_shards": 4, "accounts_per_shard": 4, "read_fraction": 0.9,
     "hot_fraction": 0.6, "seed": 5,
 }
+#: the re-execution stress: a quarter of the stream logic-aborts, so
+#: committed throughput separates the poison cascade from re-execution.
+_ABORT_HEAVY = {
+    "n_shards": 4, "accounts_per_shard": 4, "cross_fraction": 0.2,
+    "hot_fraction": 0.2, "abort_fraction": 0.25, "seed": 5,
+}
 
 
 def _e15_cases() -> tuple[BenchCase, ...]:
@@ -236,6 +242,27 @@ def _e17_cases() -> tuple[BenchCase, ...]:
                             "seed": 11},
                     txns=400,
                 ))
+    # The abort-heavy column: serial baseline, planner with the poison
+    # cascade, planner with re-execution — committed counts are the
+    # point of comparison, not just throughput.
+    cases.append(BenchCase(
+        case_id="abort-heavy/serial",
+        scenario="abort-heavy",
+        scenario_params=_ABORT_HEAVY,
+        config={"mode": "serial", "scheduler": "mvto", "workers": 4,
+                "seed": 11},
+        txns=400,
+    ))
+    for tag, reexec in (("cascade", False), ("reexec", True)):
+        cases.append(BenchCase(
+            case_id=f"abort-heavy/planner/{tag}",
+            scenario="abort-heavy",
+            scenario_params=_ABORT_HEAVY,
+            config={"mode": "planner", "workers": 4, "batch_size": 64,
+                    "deterministic": True, "reexecute": reexec,
+                    "seed": 11},
+            txns=400,
+        ))
     return tuple(cases)
 
 
@@ -266,6 +293,19 @@ def _e18_cases() -> tuple[BenchCase, ...]:
                             "deterministic": det, "seed": 11},
                     txns=400,
                 ))
+    # Re-execution inside an in-flight pipeline: both abort-free modes
+    # on the abort-heavy stream must realize the same committed set.
+    for mode, extra in (
+        ("planner", {}), ("pipelined", {"lookahead": 2}),
+    ):
+        cases.append(BenchCase(
+            case_id=f"abort-heavy/{mode}/reexec-det",
+            scenario="abort-heavy",
+            scenario_params=_ABORT_HEAVY,
+            config={"mode": mode, "workers": 4, "batch_size": 64,
+                    "deterministic": True, "seed": 11, **extra},
+            txns=400,
+        ))
     return tuple(cases)
 
 
@@ -309,6 +349,29 @@ def _smoke_cases() -> tuple[BenchCase, ...]:
             scenario_params=_READ_MOSTLY,
             config={"mode": "pipelined", "workers": 4, "batch_size": 64,
                     "lookahead": 2, "deterministic": True, "seed": 11},
+            txns=120,
+        ),
+        # The re-execution pair: same abort-heavy stream with the
+        # poison cascade and with re-execution.  The committed baseline
+        # pins the recovered throughput — a regression that silently
+        # stops re-executing shows up as the reexec case's committed
+        # count collapsing onto the cascade case's.
+        BenchCase(
+            case_id="abort-heavy/planner-cascade",
+            scenario="abort-heavy",
+            scenario_params=_ABORT_HEAVY,
+            config={"mode": "planner", "workers": 4, "batch_size": 64,
+                    "deterministic": True, "reexecute": False,
+                    "seed": 11},
+            txns=120,
+        ),
+        BenchCase(
+            case_id="abort-heavy/planner-reexec",
+            scenario="abort-heavy",
+            scenario_params=_ABORT_HEAVY,
+            config={"mode": "planner", "workers": 4, "batch_size": 64,
+                    "deterministic": True, "reexecute": True,
+                    "seed": 11},
             txns=120,
         ),
     )

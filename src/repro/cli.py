@@ -256,21 +256,27 @@ _SCENARIO_FLAG_PARAMS: dict[str, dict[str, str]] = {
     "entities": {"bank": "n_accounts", "inventory": "n_warehouses"},
     "accounts_per_shard": {
         "sharded-bank": "accounts_per_shard",
+        "abort-heavy": "accounts_per_shard",
         "read-mostly": "accounts_per_shard",
     },
     "hot_fraction": {
         "bank": "hot_fraction",
         "sharded-bank": "hot_fraction",
+        "abort-heavy": "hot_fraction",
         "read-mostly": "hot_fraction",
     },
-    "cross_fraction": {"sharded-bank": "cross_fraction"},
+    "cross_fraction": {
+        "sharded-bank": "cross_fraction",
+        "abort-heavy": "cross_fraction",
+    },
     "read_fraction": {"read-mostly": "read_fraction"},
+    "abort_fraction": {"abort-heavy": "abort_fraction"},
     "audit_every": {"bank": "audit_every", "sharded-bank": "audit_every"},
 }
 
 #: scenarios whose account layout is bucketed per shard; their shard
 #: count follows the worker count, as the old runtime/planner CLIs did.
-_SHARDED_SCENARIOS = frozenset({"sharded-bank", "read-mostly"})
+_SHARDED_SCENARIOS = frozenset({"sharded-bank", "abort-heavy", "read-mostly"})
 
 
 def _execute_run(
@@ -382,6 +388,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             "gc_every": args.gc_every,
             "epoch_max_steps": args.epoch_steps,
             "lookahead": args.lookahead,
+            "reexecute": args.reexecute,
             "trace": args.trace,
             "audit": args.audit or None,
         },
@@ -775,6 +782,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lookahead", type=_positive_int, default=None,
                    help="pipelined mode: batches planned ahead of the "
                         "executing one (default 1)")
+    p.add_argument("--no-reexecute", action="store_false", default=None,
+                   dest="reexecute",
+                   help="planner family: cascade logic-abort readers "
+                        "instead of re-binding and re-running them")
     # Scenario options (validated against the chosen scenario).
     p.add_argument("--entities", type=_positive_int, default=None,
                    help="bank accounts / inventory warehouses")
@@ -784,6 +795,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="sharded-bank: cross-shard transfer fraction")
     p.add_argument("--read-fraction", type=_fraction, default=None,
                    help="read-mostly: read-only transaction fraction")
+    p.add_argument("--abort-fraction", type=_fraction, default=None,
+                   help="abort-heavy: seeded logic-abort fraction")
     p.add_argument("--audit-every", type=_nonnegative_int, default=None,
                    help="every k-th transaction is a read-only audit")
     p.add_argument("--json", action="store_true",

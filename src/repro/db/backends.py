@@ -311,12 +311,14 @@ class BatchPlannerBackend(BackendAdapter):
         "versions, zero CC aborts by construction"
     )
     applicable = frozenset({
-        "workers", "batch_size", "deterministic", "trace", "audit",
+        "workers", "batch_size", "deterministic", "reexecute", "trace",
+        "audit",
     })
     defaults = {
         "workers": 4,
         "batch_size": 64,
         "deterministic": False,
+        "reexecute": True,
         "audit": False,
     }
 
@@ -332,6 +334,7 @@ class BatchPlannerBackend(BackendAdapter):
                 deterministic=config.deterministic,
                 gc_enabled=config.gc,
                 seed=config.seed,
+                reexecute=config.reexecute,
                 tracer=tracer,
             )
             return planner.run(stream), planner.final_state()
@@ -365,14 +368,15 @@ class PipelinedPlannerBackend(BackendAdapter):
         "executes (lookahead-deep), zero CC aborts by construction"
     )
     applicable = frozenset({
-        "workers", "batch_size", "deterministic", "lookahead", "trace",
-        "audit",
+        "workers", "batch_size", "deterministic", "lookahead",
+        "reexecute", "trace", "audit",
     })
     defaults = {
         "workers": 4,
         "batch_size": 64,
         "deterministic": False,
         "lookahead": 1,
+        "reexecute": True,
         "audit": False,
     }
 
@@ -389,6 +393,7 @@ class PipelinedPlannerBackend(BackendAdapter):
                 deterministic=config.deterministic,
                 gc_enabled=config.gc,
                 seed=config.seed,
+                reexecute=config.reexecute,
                 tracer=tracer,
             )
             return pipeline.run(stream), pipeline.final_state()

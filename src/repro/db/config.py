@@ -33,6 +33,7 @@ MODE_OPTIONS: tuple[str, ...] = (
     "gc_every",
     "epoch_max_steps",
     "lookahead",
+    "reexecute",
     "trace",
     "audit",
 )
@@ -73,6 +74,10 @@ class RunConfig:
     #: batches the pipelined planner may plan ahead of the executing one
     #: (pipelined mode only; the other modes have no planning stage).
     lookahead: int | None = None
+    #: re-bind and re-run cascaded readers instead of aborting them
+    #: (planner family only; defaults on — off reproduces the poison
+    #: cascade for before/after comparison).
+    reexecute: bool | None = None
     #: structured tracing: a JSONL path to persist the trace to, or a
     #: live :class:`repro.obs.Tracer` to collect in memory (tests).
     #: ``None`` (the default everywhere) runs untraced at no cost.
@@ -132,6 +137,12 @@ class RunConfig:
         if self.audit is not None and not isinstance(self.audit, bool):
             raise ValueError(
                 f"audit must be a bool, got {self.audit!r}"
+            )
+        if self.reexecute is not None and not isinstance(
+            self.reexecute, bool
+        ):
+            raise ValueError(
+                f"reexecute must be a bool, got {self.reexecute!r}"
             )
 
     def as_dict(self) -> dict[str, Any]:

@@ -278,10 +278,19 @@ class OnlineEngine:
                 owner.readers.add(attempt)
             return version.value
         if value is NO_VALUE:
-            value = write_value(
-                attempt.program, attempt.txn, attempt.write_index,
-                attempt.reads,
-            )
+            try:
+                value = write_value(
+                    attempt.program, attempt.txn, attempt.write_index,
+                    attempt.reads,
+                )
+            except Exception as exc:
+                # A raising program is a *logic* abort — the
+                # transaction's own decision to roll back (insufficient
+                # funds, injected failure), not a concurrency-control
+                # rejection.  Abort the attempt like any other root so
+                # readers cascade and the log stays consistent.
+                self._abort_cascade(attempt, "logic")
+                raise TransactionAborted(attempt.txn, "logic") from exc
         attempt.write_index += 1
         version = self.store.install(
             entity, attempt.txn, value, next(self._gpos)
@@ -487,6 +496,8 @@ class OnlineEngine:
                     self.metrics.aborted_rejected += 1
                 elif reason == "deadlock":
                     self.metrics.aborted_deadlock += 1
+                elif reason == "logic":
+                    self.metrics.aborted_logic += 1
                 elif reason in ("external", "remote-abort", "flush-abort"):
                     self.metrics.aborted_external += 1
                 else:

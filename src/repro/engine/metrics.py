@@ -81,6 +81,9 @@ class EngineMetrics:
     aborted_rejected: int = 0
     aborted_deadlock: int = 0
     aborted_cascade: int = 0
+    #: abort roots whose own program raised — the transaction's
+    #: voluntary rollback, not a concurrency-control rejection.
+    aborted_logic: int = 0
     #: abort roots requested from outside the engine (the parallel
     #: runtime's cross-shard vote-no / flush-abort path).
     aborted_external: int = 0
@@ -107,6 +110,7 @@ class EngineMetrics:
             self.aborted_rejected
             + self.aborted_deadlock
             + self.aborted_cascade
+            + self.aborted_logic
             + self.aborted_external
         )
 
@@ -128,6 +132,7 @@ class EngineMetrics:
             "rejected": self.aborted_rejected,
             "deadlock": self.aborted_deadlock,
             "cascade": self.aborted_cascade,
+            "logic": self.aborted_logic,
             "external": self.aborted_external,
             "retries": self.retries,
             "gave_up": self.gave_up,
@@ -151,6 +156,7 @@ class EngineMetrics:
         registry.counter("engine.aborted.rejected", self.aborted_rejected)
         registry.counter("engine.aborted.deadlock", self.aborted_deadlock)
         registry.counter("engine.aborted.cascade", self.aborted_cascade)
+        registry.counter("engine.aborted.logic", self.aborted_logic)
         registry.counter("engine.aborted.external", self.aborted_external)
         registry.counter("engine.retries", self.retries)
         registry.counter("engine.gave_up", self.gave_up)
@@ -174,6 +180,7 @@ class EngineMetrics:
             f"aborted       {self.aborted_total}  "
             f"(rejected {self.aborted_rejected}, cascade "
             f"{self.aborted_cascade}, deadlock {self.aborted_deadlock}, "
+            f"logic {self.aborted_logic}, "
             f"external {self.aborted_external})",
             f"retries       {self.retries}  (gave up {self.gave_up})",
             f"steps         {self.steps_submitted}  "

@@ -125,6 +125,11 @@ EVENTS: tuple[EventSpec, ...] = (
         "`txn`, `entity`",
     ),
     EventSpec(
+        "txn.reexec", "instant", "",
+        "planner family (cascaded reader re-bound and re-run at settle)",
+        "`txn`, `round` (re-execution fixpoint round, 1-based)",
+    ),
+    EventSpec(
         "epoch.close", "instant", "",
         "engine",
         "`epoch`, `steps`",

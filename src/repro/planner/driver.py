@@ -9,11 +9,17 @@ into batches (one batch = one epoch), each batch is planned
 (:mod:`repro.planner.planning`), executed abort-free
 (:mod:`repro.planner.executor`), and *settled*:
 
+* cascaded readers are *re-executed*, not aborted (default; see
+  :mod:`repro.planner.reexec`): each is re-bound past the dead writer's
+  removed slots and re-run in timestamp order until no cascade remains,
+  so only genuine logic aborts cost committed throughput.  With
+  ``reexecute=False`` the PR 3 cascade behavior is preserved verbatim.
 * the committed set is re-derived through the group-commit fixpoint
   (:meth:`repro.runtime.group_commit.GroupCommitLog.commit_closure`) over
   the plan's dependency map — logic aborts vote "no", and the closure is
-  exactly the poison cascade the executor realized.  The two computations
-  agreeing is an asserted invariant, not an assumption.
+  exactly the poison cascade (or its re-executed repair) the executor
+  realized.  The two computations agreeing is an asserted invariant, not
+  an assumption.
 * poisoned slots are removed from the store; no placeholder survives a
   settled batch.
 * the watermark GC (:class:`repro.engine.gc.WatermarkGC`) prunes behind
@@ -49,6 +55,7 @@ from repro.planner.executor import (
 )
 from repro.planner.metrics import PlannerMetrics
 from repro.planner.planning import plan_batch
+from repro.planner.reexec import reexecute_poisoned
 from repro.runtime.group_commit import GroupCommitLog
 from repro.storage.sharded import ShardedMultiversionStore
 
@@ -101,6 +108,7 @@ class BatchPlanner:
         deterministic: bool = False,
         gc_enabled: bool = True,
         seed: int = 0,
+        reexecute: bool = True,
         tracer=NULL_TRACER,
     ) -> None:
         if n_workers < 1:
@@ -108,6 +116,10 @@ class BatchPlanner:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.tracer = tracer
+        #: re-bind and re-run cascaded readers instead of aborting them
+        #: (:mod:`repro.planner.reexec`); off reproduces the PR 3
+        #: cascade behavior for before/after comparison.
+        self.reexecute = reexecute
         #: one store shard per worker: planning partition p and the
         #: execution threads' fills both address shard-sliced state.
         self.store = ShardedMultiversionStore(n_workers, initial)
@@ -186,11 +198,12 @@ class BatchPlanner:
                 "plan", "plan.batch", "plan",
                 batch=batch_no, txns=len(items),
             )
+        first_position = self._next_position
         plan = plan_batch(
             items,
             self.store,
             self._next_timestamp,
-            self._next_position,
+            first_position,
             threaded=not self.deterministic and self.n_workers > 1,
         )
         self._next_timestamp += len(items)
@@ -226,6 +239,21 @@ class BatchPlanner:
             self.tracer.begin(
                 "settle", "settle.batch", "driver", batch=batch_no,
             )
+        # Re-execution: re-bind the poisoned readers past the dead
+        # writers and re-run them in timestamp order until no cascade
+        # remains (executor threads have joined — this runs inline).
+        reexec = None
+        if self.reexecute:
+            reexec = reexecute_poisoned(
+                plan, outcome, self.store, self.executor,
+                first_position, tracer=self.tracer,
+            )
+            if reexec.reexecuted:
+                verify_settled(plan, outcome)
+                metrics.reexecuted += reexec.reexecuted
+                metrics.reexec_rounds += reexec.rounds
+                metrics.blocked_reads += reexec.blocked_reads
+                engine.steps_submitted += reexec.steps_executed
 
         # Settle: the group-commit fixpoint over the planned dependency
         # map must re-derive exactly the executed fates — logic aborts
@@ -267,6 +295,8 @@ class BatchPlanner:
                     txn=str(ptxn.txn), reason=reason,
                 )
             for slot in ptxn.slots:
+                if reexec is not None and id(slot) in reexec.removed_ids:
+                    continue  # the re-execution pass already removed it
                 self.store.remove(slot)
         if self.store.placeholder_count():
             raise EngineError(

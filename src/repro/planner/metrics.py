@@ -50,9 +50,14 @@ class PlannerMetrics:
     #: when deterministic — timestamp-order execution never blocks).
     blocked_reads: int = 0
     #: the aborts planning cannot remove: programs that raised, and the
-    #: readers their poisoned slots cascaded to.
+    #: readers their poisoned slots cascaded to (zero with re-execution
+    #: on — cascaded readers re-run instead of aborting).
     logic_aborted: int = 0
     cascade_aborted: int = 0
+    #: re-execution (:mod:`repro.planner.reexec`): cascaded-reader
+    #: re-runs performed, and fixpoint rounds taken doing so.
+    reexecuted: int = 0
+    reexec_rounds: int = 0
 
     @property
     def submitted(self) -> int:
@@ -99,6 +104,8 @@ class PlannerMetrics:
             "cc_aborts": self.cc_aborts,
             "logic_aborted": self.logic_aborted,
             "cascade_aborted": self.cascade_aborted,
+            "reexecuted": self.reexecuted,
+            "reexec_rounds": self.reexec_rounds,
             "batches": self.batches,
             "placeholders": self.placeholders_reserved,
             "base_reads": self.base_reads,
@@ -122,6 +129,8 @@ class PlannerMetrics:
         registry.counter("planner.cc_aborts", self.cc_aborts)
         registry.counter("planner.logic_aborted", self.logic_aborted)
         registry.counter("planner.cascade_aborted", self.cascade_aborted)
+        registry.counter("planner.reexecuted", self.reexecuted)
+        registry.counter("planner.reexec_rounds", self.reexec_rounds)
         registry.counter("planner.batches", self.batches)
         registry.counter(
             "planner.placeholders", self.placeholders_reserved
@@ -152,7 +161,8 @@ class PlannerMetrics:
             f"(rate {self.commit_rate:.3f}{rate})",
             f"cc aborts     {self.cc_aborts}  (abort-free by construction)",
             f"logic aborts  {self.logic_aborted}  "
-            f"(cascaded {self.cascade_aborted})",
+            f"(cascaded {self.cascade_aborted}, re-executed "
+            f"{self.reexecuted} in {self.reexec_rounds} rounds)",
             f"reads         {self.base_reads} base, {self.own_reads} own, "
             f"{self.dependent_reads} dependent "
             f"({self.commit_deps} commit deps, "

@@ -27,6 +27,11 @@ in-flight plan:
   :meth:`~repro.storage.mvstore.MultiversionStore.latest_before` the
   plan's first position — the version the plan would have bound had the
   aborted slot never been reserved.  Nothing else in the plan moves.
+  Re-execution (on by default, :mod:`repro.planner.reexec`) narrows
+  what "aborted" means here: a cascaded reader re-runs at settle with
+  its slots revived and filled *in place*, so lookahead bindings to it
+  stay exact without repair — only genuine logic-abort roots remove
+  slots and trigger the seam re-bind.
 * **GC honors in-flight plans.**  Every plan pins its first install
   position in the :class:`~repro.engine.gc.WatermarkGC` from plan time
   to settle; the collector clamps any requested watermark to the lowest
@@ -82,6 +87,7 @@ from repro.planner.executor import (
 from repro.planner.driver import emit_planned_data_ops
 from repro.planner.metrics import PipelineMetrics
 from repro.planner.planning import plan_batch
+from repro.planner.reexec import reexecute_poisoned
 from repro.runtime.group_commit import GroupCommitLog
 from repro.storage.sharded import ShardedMultiversionStore
 
@@ -124,6 +130,7 @@ class PipelinedPlanner:
         deterministic: bool = False,
         gc_enabled: bool = True,
         seed: int = 0,
+        reexecute: bool = True,
         tracer=NULL_TRACER,
     ) -> None:
         if n_workers < 1:
@@ -132,6 +139,13 @@ class PipelinedPlanner:
             raise ValueError("batch_size must be >= 1")
         if lookahead < 1:
             raise ValueError("lookahead must be >= 1")
+        #: re-bind and re-run cascaded readers at settle instead of
+        #: aborting them (:mod:`repro.planner.reexec`).  Runs after the
+        #: planning stage has joined, so the fixpoint never races the
+        #: lookahead walk; lookahead bindings to a victim's slots stay
+        #: valid (the slots revive in place), and bindings to a removed
+        #: root's slots go through the ordinary seam re-bind below.
+        self.reexecute = reexecute
         self.store = ShardedMultiversionStore(n_workers, initial)
         self.n_workers = n_workers
         self.batch_size = batch_size
@@ -394,6 +408,22 @@ class PipelinedPlanner:
                 "settle", "settle.batch", "driver",
                 batch=engine.epochs_closed,
             )
+        # Re-execution first: the planning stage has joined, so the
+        # fixpoint re-runs cascaded readers inline with the chains
+        # quiescent.  Root slots it removes feed the seam re-bind below
+        # exactly like ordinary abort removals.
+        reexec = None
+        if self.reexecute:
+            reexec = reexecute_poisoned(
+                head.plan, outcome, self.store, self.executor,
+                head.first_position, tracer=self.tracer,
+            )
+            if reexec.reexecuted:
+                verify_settled(head.plan, outcome)
+                metrics.reexecuted += reexec.reexecuted
+                metrics.reexec_rounds += reexec.rounds
+                metrics.blocked_reads += reexec.blocked_reads
+                engine.steps_submitted += reexec.steps_executed
         votes = {
             ptxn.txn: outcome.fates[ptxn.txn] == COMMITTED
             for ptxn in head.plan
@@ -408,7 +438,7 @@ class PipelinedPlanner:
                 f"{sorted(map(repr, outcome.committed))}"
             )
         engine.ticks = head.settle_tick
-        removed: list = []
+        removed: list = list(reexec.removed_slots) if reexec else []
         for ptxn, tick in zip(head.plan, head.born):
             if ptxn.txn in committed:
                 engine.committed += 1
@@ -433,6 +463,8 @@ class PipelinedPlanner:
                     txn=str(ptxn.txn), reason=reason,
                 )
             for slot in ptxn.slots:
+                if reexec is not None and id(slot) in reexec.removed_ids:
+                    continue  # the re-execution pass already removed it
                 self.store.remove(slot)
                 removed.append(slot)
         for slot in removed:

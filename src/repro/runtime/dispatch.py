@@ -54,6 +54,7 @@ from __future__ import annotations
 import enum
 import itertools
 import random
+import time
 from dataclasses import dataclass, field
 
 from repro.engine.engine import OnlineEngine, TxnState
@@ -366,9 +367,15 @@ class ShardRuntime:
                 lambda w=worker, a=attempt, s=step: w.submit_part(a, s)
             )
             return
-        value = write_value(
-            ticket.program, ticket.key, state.write_index, state.reads
-        )
+        try:
+            value = write_value(
+                ticket.program, ticket.key, state.write_index, state.reads
+            )
+        except Exception as exc:
+            # The program rolled itself back (logic abort).  Raise the
+            # engine's abort type so _advance_cross settles the ticket
+            # through the one abort path — every slice gets aborted.
+            raise TransactionAborted(ticket.key, "logic") from exc
         state.write_index += 1
         state.pending = worker.post(
             lambda w=worker, a=attempt, s=step, v=value:

@@ -62,8 +62,9 @@ class Version:
 
 class PlaceholderState(enum.Enum):
     """Lifecycle of a reserved version slot (PENDING is the only state
-    from which both transitions are legal; FILLED and POISONED are
-    terminal)."""
+    from which both forward transitions are legal; FILLED is terminal,
+    POISONED may return to PENDING via :meth:`MultiversionStore.revive`
+    when the planner re-executes a cascaded reader)."""
 
     PENDING = "pending"
     FILLED = "filled"
@@ -123,6 +124,10 @@ class PlaceholderVersion(Version):
     def _poison(self) -> None:
         object.__setattr__(self, "state", PlaceholderState.POISONED)
         self._event.set()
+
+    def _revive(self) -> None:
+        object.__setattr__(self, "state", PlaceholderState.PENDING)
+        self._event.clear()
 
 
 def _order_key(version: Version) -> int:
@@ -232,6 +237,26 @@ class MultiversionStore:
                 f"poison on filled placeholder of {version.writer!r}"
             )
         version._poison()
+
+    def revive(self, version: PlaceholderVersion) -> None:
+        """Return a poisoned slot to PENDING (re-execution path).
+
+        The planner's re-execution pass re-runs a cascaded reader in
+        place: its reserved slots — poisoned when the reader observed a
+        poisoned source — become reservations again, at the same chain
+        positions, so every later binding to them stays exact.  Only
+        POISONED slots revive: a PENDING slot needs no revival and a
+        FILLED slot's value is published, immutable state.  Both states
+        count as unmaterialized, so no counter moves.
+        """
+        if not version.is_placeholder:
+            raise ValueError(f"revive on non-placeholder version {version!r}")
+        if version.state is not PlaceholderState.POISONED:
+            raise ValueError(
+                f"revive on {version.state.value} placeholder of "
+                f"{version.writer!r}"
+            )
+        version._revive()
 
     def remove(self, version: Version) -> None:
         """Remove one installed version (transaction abort path).

@@ -32,7 +32,11 @@ from repro.model.transactions import Transaction
 from repro.storage.executor import Program
 from repro.workloads.bank import BankWorkload
 from repro.workloads.inventory import InventoryWorkload
-from repro.workloads.streams import ReadMostlyScenario, ShardedBankScenario
+from repro.workloads.streams import (
+    AbortHeavyScenario,
+    ReadMostlyScenario,
+    ShardedBankScenario,
+)
 
 
 class _BankScenario:
@@ -116,6 +120,19 @@ SCENARIOS: dict[str, ScenarioSpec] = {
             description=(
                 "transfers pre-bucketed per shard with dialable "
                 "cross-shard and hot-shard fractions"
+            ),
+        ),
+        ScenarioSpec(
+            name="abort-heavy",
+            factory=AbortHeavyScenario,
+            params=frozenset({
+                "n_shards", "accounts_per_shard", "cross_fraction",
+                "hot_fraction", "hot_shards", "abort_fraction",
+                "initial_balance", "seed",
+            }),
+            description=(
+                "sharded transfers where a seeded fraction logic-"
+                "aborts — the planner family's re-execution stress"
             ),
         ),
         ScenarioSpec(

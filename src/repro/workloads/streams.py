@@ -216,6 +216,72 @@ class ShardedBankScenario(ShardedAccountsScenario):
             )
 
 
+class InjectedAbort(RuntimeError):
+    """The exception :func:`failing_program` raises (workload-injected)."""
+
+
+def failing_program(label: str) -> Program:
+    """A write program that always raises — a seeded *logic* abort.
+
+    The raise happens at the first write, after the reads: exactly the
+    abort class planning cannot remove, so every planned reader of the
+    transaction's reserved slots is poisoned.  The injected failure is
+    stream-decided (not value-dependent), so every execution mode sees
+    the identical abort set for equal seeds.
+    """
+
+    def program(write_index: int, reads: list):
+        raise InjectedAbort(label)
+
+    return program
+
+
+@dataclass(kw_only=True)
+class AbortHeavyScenario(ShardedBankScenario):
+    """A transfer stream where a seeded fraction logic-aborts.
+
+    Identical to :class:`ShardedBankScenario` except that each transfer
+    independently carries an always-raising program with probability
+    ``abort_fraction`` — the abort pressure the planner family's
+    re-execution path (:mod:`repro.planner.reexec`) exists to absorb.
+    Under the PR 3 cascade, every planned reader of an aborted writer
+    dies with it; with re-execution on, only the aborting transfers are
+    lost.  E17/E18 pin that committed count strictly improves, and the
+    property tests replay the same seeded stream against a serial
+    oracle.
+
+    Aborting transfers write nothing, so the conservation invariant
+    holds for whatever subset of the stream commits — under any mode.
+    """
+
+    abort_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.abort_fraction <= 1.0:
+            raise ValueError("abort_fraction must be in [0, 1]")
+        super().__post_init__()
+
+    def transaction_stream(
+        self, n_transactions: int
+    ) -> Iterator[tuple[Transaction, Program | None]]:
+        """A replayable stream of ``(transaction, program)`` pairs.
+
+        A fresh RNG per call (same contract as the other sharded
+        scenarios), so the identical stream — including the identical
+        abort set — feeds every mode under comparison.
+        """
+        rng = random.Random(f"abort-heavy-stream:{self.seed}")
+        for k in range(1, n_transactions + 1):
+            source, target = self._pick_pair(rng)
+            amount = rng.randint(1, 20)
+            fails = rng.random() < self.abort_fraction
+            yield (
+                transfer_transaction(f"t{k}", source, target),
+                failing_program(f"t{k}") if fails
+                else transfer_program(amount),
+            )
+
+
 @dataclass(kw_only=True)
 class ReadMostlyScenario(ShardedAccountsScenario):
     """A read-heavy stream with hot-key skew over sharded bank accounts.

@@ -1,0 +1,146 @@
+"""Auditing re-executed schedules: certification and forgery.
+
+Re-execution (:mod:`repro.planner.reexec`) commits transactions whose
+reads were re-bound after a logic abort.  The auditor must hold those
+runs to the same standard as any other: a traced re-executed run
+certifies 1-SR only because every committed read cites the version it
+*actually* used after re-binding — so a forged trace where a re-bound
+read still cites its removed source must be flagged, never certified.
+
+Negative half: synthetic and mutated traces of the re-execution shape.
+Positive half: real abort-heavy runs through both abort-free modes
+certify, and equal seeds certify byte-identically.
+"""
+
+import json
+
+import pytest
+
+from repro.audit import audit_events, audit_file
+from repro.db import Database, RunConfig
+from repro.obs import Tracer
+
+from tests.audit.test_clean_runs import run_audited
+from tests.audit.test_reconstruct import abort, close, commit, rd, wr
+
+
+def codes(report):
+    return sorted({v.code for v in report.violations})
+
+
+def run_traced(mode, *, seed=3, txns=80, reexecute=None, path=None):
+    tracer = Tracer(capacity=None) if path is None else str(path)
+    options = {} if reexecute is None else {"reexecute": reexecute}
+    config = RunConfig(
+        mode=mode, workers=2, batch_size=8, deterministic=True,
+        seed=seed, trace=tracer, **options,
+    )
+    report = Database().run(
+        "abort-heavy", config, txns=txns, abort_fraction=0.3
+    )
+    return report, tracer
+
+
+class TestForgedReexecTraces:
+    """The negative half: re-execution shapes that must not certify."""
+
+    def test_rebound_read_citing_removed_source(self):
+        # The honest story: "a" writes x@1 and logic-aborts; "b" is
+        # re-bound to the initial version and commits.  The forged
+        # trace claims "b" still read the removed write — position 1
+        # no longer exists, so the read's source is missing.
+        report = audit_events([
+            wr("a", "x", 1), abort("a"),
+            rd("b", "x", 1, "a"), commit("b"),
+            close(),
+        ])
+        assert not report.ok
+        assert codes(report) == ["read-from-aborted"]
+
+    def test_rebound_read_citing_stale_writer(self):
+        # Here the re-bound read cites the *surviving* position but
+        # still names the aborted transaction as its writer — a
+        # re-binding that updated the slot but not the source label.
+        report = audit_events([
+            wr("c", "x", 1), commit("c"),
+            wr("a", "x", 2, seq=0), abort("a", seq=0),
+            rd("b", "x", 1, "a"), commit("b"),
+            close(),
+        ])
+        assert not report.ok
+        assert "read-from-mismatch" in codes(report)
+
+    def test_mutated_real_reexec_trace(self, tmp_path):
+        """Take a genuinely re-executed run and forge one re-bound
+        read back to its pre-rebind source: the audit must flag it."""
+        path = tmp_path / "reexec.jsonl"
+        report, _ = run_traced("planner", path=path)
+        assert report.invariant_ok
+        lines = path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        reexecuted = {
+            r["args"]["txn"] for r in records
+            if r.get("name") == "txn.reexec"
+        }
+        assert reexecuted, "run produced no re-executions"
+        aborted = {
+            r["args"]["txn"] for r in records
+            if r.get("name") == "txn.abort"
+        }
+        for i, record in enumerate(records):
+            if (record.get("name") == "txn.read"
+                    and record["args"]["txn"] in reexecuted
+                    and record["args"].get("pos") is not None):
+                record["args"]["writer"] = sorted(aborted)[0]
+                lines[i] = json.dumps(record)
+                break
+        else:
+            pytest.fail("no in-batch read by a re-executed txn to forge")
+        forged = tmp_path / "forged.jsonl"
+        forged.write_text("\n".join(lines) + "\n")
+        audit = audit_file(str(forged))
+        assert not audit.ok
+        assert set(codes(audit)) & {
+            "read-from-mismatch", "read-from-aborted"
+        }
+
+    def test_untouched_reexec_trace_certifies(self, tmp_path):
+        path = tmp_path / "clean.jsonl"
+        report, _ = run_traced("pipelined", path=path)
+        assert report.invariant_ok
+        audit = audit_file(str(path))
+        assert audit.ok, audit.format()
+        assert audit.certified == audit.segments > 0
+
+
+class TestReexecRunsCertify:
+    """The positive half: re-executed runs pass continuous audit."""
+
+    @pytest.mark.parametrize("mode", ["planner", "pipelined"])
+    def test_abort_heavy_certifies_1sr(self, mode):
+        report = run_audited(
+            mode, "abort-heavy", txns=80, batch_size=8,
+        )
+        audit = report.audit
+        assert audit is not None and audit.ok, audit.format()
+        assert audit.violations == ()
+        assert report.mode_specific["reexecuted"] > 0
+        assert report.mode_specific["cascade_aborted"] == 0
+        assert report.cc_aborts == 0
+
+    @pytest.mark.parametrize("mode", ["planner", "pipelined"])
+    def test_equal_seeds_certify_byte_identically(self, mode):
+        first = run_audited(mode, "abort-heavy", seed=11, batch_size=8)
+        second = run_audited(mode, "abort-heavy", seed=11, batch_size=8)
+        assert first.audit.as_json() == second.audit.as_json()
+        assert json.dumps(first.as_dict()) == json.dumps(second.as_dict())
+
+    def test_reexec_off_also_certifies(self):
+        """The cascade baseline is still a correct (smaller) history."""
+        report = run_audited(
+            "planner", "abort-heavy", txns=80, batch_size=8,
+            reexecute=False,
+        )
+        assert report.audit.ok, report.audit.format()
+        assert report.mode_specific["reexecuted"] == 0
+        assert report.mode_specific["cascade_aborted"] > 0

@@ -85,6 +85,7 @@ class TestRun:
         assert set(Database.backends()) == set(MODES)  # incl. pipelined
         assert set(Database.scenarios()) == {
             "bank", "inventory", "sharded-bank", "read-mostly",
+            "abort-heavy",
         }
 
 

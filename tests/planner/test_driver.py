@@ -78,6 +78,33 @@ class TestDriver:
         assert with_gc.final_state() == without_gc.final_state()
 
     def test_logic_abort_settles_against_commit_closure(self):
+        """With re-execution off, a logic abort still cascades through
+        its readers — the pre-reexec baseline, kept comparable."""
+        def boom(write_index, reads):
+            raise RuntimeError("logic abort")
+
+        stream = [
+            (transfer_transaction("t1", "a", "b"), transfer_program(5)),
+            (transfer_transaction("t2", "b", "c"), boom),
+            (transfer_transaction("t3", "c", "d"), transfer_program(2)),
+        ]
+        planner = BatchPlanner(
+            initial={k: 100 for k in "abcd"}, n_workers=2,
+            batch_size=8, deterministic=True, reexecute=False,
+        )
+        metrics = planner.run(stream)
+        assert metrics.committed == 1
+        assert metrics.logic_aborted == 1
+        assert metrics.cascade_aborted == 1
+        assert metrics.reexecuted == 0
+        assert metrics.cc_aborts == 0
+        state = planner.final_state()
+        assert sum(state.values()) == 400
+        assert planner.store.placeholder_count() == 0
+
+    def test_logic_abort_reexecutes_readers(self):
+        """With re-execution on (the default), the poisoned reader is
+        re-bound to the latest surviving version and commits."""
         def boom(write_index, reads):
             raise RuntimeError("logic abort")
 
@@ -91,12 +118,16 @@ class TestDriver:
             batch_size=8, deterministic=True,
         )
         metrics = planner.run(stream)
-        assert metrics.committed == 1
+        assert metrics.committed == 2
         assert metrics.logic_aborted == 1
-        assert metrics.cascade_aborted == 1
+        assert metrics.cascade_aborted == 0
+        assert metrics.reexecuted == 1
+        assert metrics.reexec_rounds == 1
         assert metrics.cc_aborts == 0
         state = planner.final_state()
         assert sum(state.values()) == 400
+        # t3 re-read c from the initial base: 100 - 2 moved to d.
+        assert state["c"] == 98 and state["d"] == 102
         assert planner.store.placeholder_count() == 0
 
     def test_single_use(self):

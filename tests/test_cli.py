@@ -425,7 +425,7 @@ class TestBench:
         assert first.read_bytes() == second.read_bytes()
         document = json.loads(first.read_text())
         assert document["schema"] == "repro.bench/v1"
-        assert len(document["records"]) == 4
+        assert len(document["records"]) == 6
 
     def test_run_default_path_is_bench_suite_json(
         self, capsys, tmp_path, monkeypatch

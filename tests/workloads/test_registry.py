@@ -13,7 +13,8 @@ from repro.workloads import (
 class TestRegistry:
     def test_names(self):
         assert scenario_names() == (
-            "bank", "inventory", "sharded-bank", "read-mostly",
+            "bank", "inventory", "sharded-bank", "abort-heavy",
+            "read-mostly",
         )
 
     def test_unknown_name_lists_choices(self):
@@ -52,7 +53,7 @@ class TestRegistry:
         drifted from its factory would turn valid knobs into errors."""
         defaults = {
             "bank": {}, "inventory": {},
-            "sharded-bank": {}, "read-mostly": {},
+            "sharded-bank": {}, "abort-heavy": {}, "read-mostly": {},
         }
         probe = {
             "n_accounts": 4, "hot_fraction": 0.1, "audit_every": 3,
@@ -61,6 +62,7 @@ class TestRegistry:
             "n_shards": 2, "accounts_per_shard": 3,
             "cross_fraction": 0.2, "hot_shards": 1,
             "read_fraction": 0.5, "hot_keys": 1, "read_width": 2,
+            "abort_fraction": 0.3,
         }
         for name, spec in SCENARIOS.items():
             params = {
